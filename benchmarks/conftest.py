@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the corresponding rows/series, so `pytest benchmarks/ --benchmark-only -s`
+reproduces the whole evaluation section.  Experiments are expensive, so
+each runs exactly once (`pedantic`, one round).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def print_report(title: str, report: str) -> None:
+    separator = "=" * 72
+    print(f"\n{separator}\n{title}\n{separator}\n{report}\n")

@@ -1,0 +1,27 @@
+"""Fig. 1 — RSSI standard deviation per mobility mode.
+
+Paper claim: RSSI is stable when static, but environmental variation often
+rivals or exceeds device-mobility variation — so RSSI alone cannot separate
+environmental from device mobility.
+"""
+
+from conftest import print_report
+
+from repro.experiments import fig01_rssi
+
+
+def test_fig01_rssi_cdf(run_once):
+    result = run_once(fig01_rssi.run, duration_s=120.0, n_repetitions=3, seed=1)
+    print_report("Fig. 1 — CDF of RSSI std dev (5 s windows)", result.format_report())
+    print(result.format_plot())
+
+    static = result.median("static")
+    env = result.median("environmental")
+    micro = result.median("micro")
+    macro = result.median("macro")
+
+    assert static < 1.0  # static RSSI is quiet
+    assert env > 2.0 * static  # environment clearly moves RSSI
+    # The overlap that defeats RSSI-based classification: the upper
+    # environmental quartile reaches into the device-mobility range.
+    assert result.cdfs["environmental"].percentile(90) > min(micro, macro) * 0.5

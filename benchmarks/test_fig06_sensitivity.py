@@ -1,0 +1,31 @@
+"""Fig. 6 — classifier sensitivity sweeps.
+
+(a) CSI sampling period: accuracy of device-mobility detection rises with
+    period (~96% at the paper's 500 ms choice);
+(b) ToF trend window: micro/macro split accuracy rises with window size
+    (~98% at the paper's ~4-5 s choice), false positives stay low.
+"""
+
+from conftest import print_report
+
+from repro.experiments import fig06_sensitivity
+
+
+def test_fig06_sensitivity(run_once):
+    result = run_once(fig06_sensitivity.run, n_locations=3, duration_s=90.0, seed=6)
+    print_report("Fig. 6 — classifier sensitivity", result.format_report())
+
+    csi = result.csi_sweep
+    # Operating point: 500 ms sampling detects device mobility reliably.
+    accuracy_500, fp_500 = csi[0.5]
+    assert accuracy_500 > 0.9
+    assert fp_500 < 0.1
+    # Short periods under-detect (channel has not decorrelated yet).
+    assert csi[0.05][0] <= accuracy_500 + 0.03
+
+    tof = result.tof_sweep
+    # Larger windows are more reliable; the chosen window performs well.
+    assert tof[8][0] >= tof[2][0]
+    assert tof[5 if 5 in tof else 6][0] > 0.85
+    for _, fp in tof.values():
+        assert fp < 0.15

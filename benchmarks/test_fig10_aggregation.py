@@ -1,0 +1,30 @@
+"""Fig. 10 — mobility-aware frame aggregation.
+
+(a) stable channels amortise with 8 ms aggregates; device mobility wants
+    2 ms (within-frame staleness); (b) the adaptive Table-2 policy beats
+    the fixed 4 ms Atheros default (~15% median in the paper).
+"""
+
+from conftest import print_report
+
+from repro.experiments import fig10_aggregation
+
+
+def test_fig10_aggregation(run_once):
+    result = run_once(fig10_aggregation.run, n_links=3, duration_s=25.0, seed=10)
+    print_report("Fig. 10 — frame aggregation", result.format_report())
+
+    # Panel (a): the crossover.
+    assert result.optimal_time_ms("static") == 8.0
+    assert result.optimal_time_ms("macro") == 2.0
+    macro = result.mean_by_mode_and_time["macro"]
+    assert macro[2.0] > macro[8.0] * 1.2  # long aggregates collapse walking
+
+    static = result.mean_by_mode_and_time["static"]
+    assert static[8.0] >= static[2.0]
+
+    # Panel (b): adaptive beats both fixed settings at the median.
+    adaptive = result.scheme_cdfs["adaptive"].median()
+    assert adaptive > result.scheme_cdfs["fixed-4ms"].median()
+    assert adaptive > result.scheme_cdfs["fixed-8ms"].median()
+    assert result.median_gain_over_4ms_percent() > 5.0

@@ -1,0 +1,31 @@
+"""Fig. 11 — SU beamforming with adaptive CSI feedback.
+
+(a) static links prefer long feedback periods (overhead dominates), mobile
+    links need short ones (stale weights lose the array gain);
+(b) Table-2 adaptive feedback beats the fixed 200 ms default.
+"""
+
+from conftest import print_report
+
+from repro.experiments import fig11_su_beamforming
+
+
+def test_fig11_su_beamforming(run_once):
+    result = run_once(fig11_su_beamforming.run, n_links=2, duration_s=15.0, seed=11)
+    print_report("Fig. 11 — SU transmit beamforming", result.format_report())
+
+    static = result.mean_by_mode_and_period["static"]
+    macro = result.mean_by_mode_and_period["macro"]
+
+    # Panel (a): opposite preferences.  Run-to-run rate-control noise is a
+    # few percent, so compare short-period vs long-period averages.
+    short = lambda row: (row[20.0] + row[50.0]) / 2.0
+    long_ = lambda row: (row[500.0] + row[2000.0]) / 2.0
+    assert long_(static) > short(static)  # static: feedback is overhead
+    assert short(macro) > long_(macro)  # walking: staleness dominates
+    assert result.optimal_period_ms("static") >= 200.0
+
+    # Panel (b): adaptive at least matches the 200 ms default.
+    assert result.scheme_cdfs["adaptive"].median() > result.scheme_cdfs[
+        "fixed-200ms"
+    ].median() * 0.98

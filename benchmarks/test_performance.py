@@ -1,0 +1,103 @@
+"""Performance micro-benchmarks of the core primitives.
+
+Unlike the figure benches (which run once and print paper rows), these use
+pytest-benchmark's statistics to track the cost of the hot paths: CSI
+similarity, channel evaluation, classifier decisions, frame transmission,
+and ZF precoding.  They guard against performance regressions in the
+simulator, whose experiments run millions of frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.precoding import mrt_weights, zero_forcing_weights
+from repro.channel.config import ChannelConfig
+from repro.channel.model import LinkChannel
+from repro.core.classifier import MobilityClassifier
+from repro.core.similarity import csi_similarity, csi_similarity_series
+from repro.core.tof_trend import ToFTrendDetector
+from repro.mac.aggregation import FrameTransmitter
+from repro.mobility.trajectory import WaypointWalkTrajectory
+from repro.util.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def csi_pair():
+    rng = np.random.default_rng(0)
+    shape = (52, 3, 2)
+    a = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    b = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return a, b
+
+
+def test_perf_csi_similarity(benchmark, csi_pair):
+    a, b = csi_pair
+    result = benchmark(csi_similarity, a, b)
+    assert -1.0 <= result <= 1.0
+
+
+def test_perf_similarity_series(benchmark):
+    rng = np.random.default_rng(1)
+    h = rng.standard_normal((200, 52, 3, 2)) + 1j * rng.standard_normal((200, 52, 3, 2))
+    series = benchmark(csi_similarity_series, h, 1)
+    assert len(series) == 199
+
+
+def test_perf_channel_evaluation(benchmark):
+    trajectory = WaypointWalkTrajectory(
+        Point(10, 5), area=(-40, -40, 40, 40), seed=2
+    ).sample(10.0, 0.05)
+
+    def evaluate():
+        link = LinkChannel(Point(0, 0), ChannelConfig(), seed=3)
+        return link.evaluate(trajectory.times, trajectory.positions, include_h=True)
+
+    trace = benchmark(evaluate)
+    assert trace.h.shape[0] == 200
+
+
+def test_perf_classifier_decision(benchmark):
+    rng = np.random.default_rng(4)
+    samples = [np.abs(rng.standard_normal(52)) + 0.05 for _ in range(64)]
+
+    def classify():
+        clf = MobilityClassifier()
+        for i, sample in enumerate(samples):
+            clf.push_csi(0.5 * i, sample)
+        return clf.estimate
+
+    estimate = benchmark(classify)
+    assert estimate is not None
+
+
+def test_perf_tof_detector(benchmark):
+    rng = np.random.default_rng(5)
+    readings = rng.normal(700.0, 0.8, size=500)
+
+    def run():
+        detector = ToFTrendDetector()
+        for reading in readings:
+            detector.push(float(reading))
+        return detector.trend
+
+    benchmark(run)
+
+
+def test_perf_frame_transmit(benchmark):
+    transmitter = FrameTransmitter(seed=6)
+    result = benchmark(transmitter.transmit, 11, 25.0, 23.0, 0.004)
+    assert result.n_mpdus >= 1
+
+
+def test_perf_mrt_weights(benchmark):
+    rng = np.random.default_rng(7)
+    h = rng.standard_normal((52, 3)) + 1j * rng.standard_normal((52, 3))
+    weights = benchmark(mrt_weights, h)
+    assert weights.shape == (52, 3)
+
+
+def test_perf_zero_forcing(benchmark):
+    rng = np.random.default_rng(8)
+    h_users = rng.standard_normal((3, 13, 3)) + 1j * rng.standard_normal((3, 13, 3))
+    weights = benchmark(zero_forcing_weights, h_users)
+    assert weights.shape == (3, 13, 3)

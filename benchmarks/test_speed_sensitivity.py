@@ -1,0 +1,24 @@
+"""Extension — the macro-detection speed threshold."""
+
+from conftest import print_report
+
+from repro.experiments import ext_speed_sensitivity
+
+
+def test_speed_sensitivity(run_once):
+    result = run_once(
+        ext_speed_sensitivity.run, n_runs_per_speed=2, duration_s=60.0, seed=42
+    )
+    print_report(
+        "Extension — macro detection vs walking speed", result.format_report()
+    )
+
+    recall = result.recall_by_speed
+    # Below the ToF net-change threshold (~0.85 m/s radial), walking is
+    # invisible to the trend detector...
+    assert recall[0.3] < 0.3
+    # ...and normal walking speeds are reliably detected.
+    assert recall[1.2] > 0.7
+    assert recall[1.5] > 0.7
+    # The threshold sits between the two regimes.
+    assert 0.6 <= result.detection_threshold_mps() <= 1.2

@@ -1,0 +1,22 @@
+"""Extension — the empirical calibration behind Thr_sta/Thr_env."""
+
+from conftest import print_report
+
+from repro.experiments import ext_threshold_sweep
+
+
+def test_threshold_sweep(run_once):
+    result = run_once(
+        ext_threshold_sweep.run, duration_s=90.0, n_locations=2, seed=77
+    )
+    print_report("Extension — CSI threshold sweep", result.format_report())
+
+    # The paper's pair performs within a whisker of the best pair found.
+    paper = result.accuracy_at(0.98, 0.7)
+    best = result.accuracy[result.best()]
+    assert paper > 0.85
+    assert paper > best - 0.08
+
+    # And the sweep is not flat: bad pairs are clearly worse.
+    worst = min(result.accuracy.values())
+    assert worst < paper - 0.1

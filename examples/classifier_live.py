@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Streaming classification of a mixed-mobility session.
+
+Reproduces the Section 6.3 data-collection pattern: the client is static
+for a while, then makes confined gestures (micro), then walks (macro).
+The AP's classifier follows the transitions with its inherent delays
+(CSI smoothing ~1.5 s, ToF trend window ~6 s).
+
+Run:  python examples/classifier_live.py
+"""
+
+from repro import ChannelConfig, LinkChannel, MobilityClassifier, Point
+from repro.mobility.trajectory import (
+    ApproachRetreatTrajectory,
+    MicroJitterTrajectory,
+    StaticTrajectory,
+    concatenate_traces,
+)
+from repro.phy.tof import ToFSampler
+
+AP = Point(0.0, 0.0)
+CLIENT = Point(15.0, 5.0)
+DT = 0.02
+PHASE_S = 25.0
+
+
+def main() -> None:
+    phases = [
+        ("static", StaticTrajectory(CLIENT).sample(PHASE_S, DT)),
+        ("micro", MicroJitterTrajectory(CLIENT, seed=1).sample(PHASE_S, DT)),
+        (
+            "macro",
+            ApproachRetreatTrajectory(AP, CLIENT, leg_duration_s=12.0, seed=2).sample(
+                PHASE_S, DT
+            ),
+        ),
+    ]
+    trajectory = concatenate_traces([trace for _, trace in phases])
+
+    link = LinkChannel(AP, ChannelConfig(), seed=3)
+    stride = 25  # 500 ms CSI sampling
+    trace = link.evaluate(
+        trajectory.times[::stride], trajectory.positions[::stride], include_h=True
+    )
+    csi = trace.measured_csi(4)
+    tof = ToFSampler(seed=5).sample(trajectory.distances_to(AP))
+
+    classifier = MobilityClassifier()
+    cursor = 0
+    previous = None
+    print("time    decision           (true phase)")
+    for i, now in enumerate(trace.times):
+        while cursor < len(trajectory.times) and trajectory.times[cursor] <= now:
+            if classifier.wants_tof:
+                classifier.push_tof(float(trajectory.times[cursor]), float(tof[cursor]))
+            cursor += 1
+        estimate = classifier.push_csi(float(now), csi[i])
+        if estimate is None:
+            continue
+        label = estimate.mode.value
+        if estimate.heading.value != "none":
+            label += f"/{estimate.heading.value}"
+        phase = phases[min(int(now // PHASE_S), 2)][0]
+        if label != previous:
+            print(f"{now:5.1f}s  {label:<18} ({phase})")
+            previous = label
+
+
+if __name__ == "__main__":
+    main()

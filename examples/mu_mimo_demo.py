@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""MU-MIMO with per-client adaptive CSI feedback.
+
+Three concurrent clients (environmental / micro / macro) are served by a
+3-antenna AP with zero-forcing precoding.  Compares a common fixed
+feedback period against the per-client Table-2 adaptive policy.
+
+Run:  python examples/mu_mimo_demo.py
+"""
+
+from repro import Point
+from repro.beamforming.feedback import FixedPeriodFeedback, MobilityAwareFeedback
+from repro.beamforming.mu_mimo import MuMimoEmulator
+from repro.experiments.fig12_mu_mimo import CLIENT_ROLES, _sense_three_clients
+from repro.util.rng import ensure_rng
+
+DURATION_S = 15.0
+
+
+def main() -> None:
+    rng = ensure_rng(21)
+    ap = Point(0.0, 0.0)
+    print("Sensing three clients (environmental / micro / macro)...")
+    sensed = _sense_three_clients(ap, rng, DURATION_S)
+    traces = [sensed[role].trace for role in CLIENT_ROLES]
+    hints = [sensed[role].hints for role in CLIENT_ROLES]
+
+    print(f"\n{'feedback policy':<22}" + "".join(f"{r:>16}" for r in CLIENT_ROLES) + f"{'network':>10}")
+    for label, schedulers, use_hints in (
+        ("fixed 20 ms", [FixedPeriodFeedback(20.0) for _ in CLIENT_ROLES], None),
+        ("fixed 200 ms", [FixedPeriodFeedback(200.0) for _ in CLIENT_ROLES], None),
+        (
+            "adaptive (Table 2)",
+            [MobilityAwareFeedback(mu_mimo=True) for _ in CLIENT_ROLES],
+            hints,
+        ),
+    ):
+        emulator = MuMimoEmulator(seed=3)
+        result = emulator.run(traces, schedulers, hints=use_hints)
+        row = "".join(f"{t:>16.1f}" for t in result.per_client_throughput_mbps)
+        print(f"{label:<22}{row}{result.network_throughput_mbps:>10.1f}")
+
+    print(
+        "\nAdaptive feedback keeps the macro client's CSI fresh (20 ms) while"
+        "\nthe quieter clients report rarely, cutting sounding overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Rate-control shoot-out on one walking link.
+
+Replays the identical channel trace (same fading, same interference
+bursts) through five rate controllers: stock Atheros RA, the paper's
+motion-aware Atheros RA (fed by the classifier), RapidSample with sensor
+hints, SoftRate, and ESNR.
+
+Run:  python examples/rate_adaptation_demo.py
+"""
+
+from repro import Point
+from repro.experiments.common import bounded_walk_scenario, sense_and_classify
+from repro.experiments.fig09_rate_eval import _ground_truth_hints
+from repro.mac.aggregation import FrameTransmitter
+from repro.rate.atheros import AtherosRateAdaptation
+from repro.rate.esnr import ESNRRate
+from repro.rate.mobility_aware import MobilityAwareAtherosRA
+from repro.rate.rapidsample import HintAwareRateControl
+from repro.rate.simulator import simulate_rate_control
+from repro.rate.softrate import SoftRate
+
+AP = Point(0.0, 0.0)
+START = Point(24.0, 6.0)
+DURATION_S = 40.0
+
+
+def main() -> None:
+    print("Sensing the link (trajectory -> channel -> CSI/ToF -> classifier)...")
+    scenario = bounded_walk_scenario(START, AP, seed=5)
+    sensed = sense_and_classify(scenario, AP, duration_s=DURATION_S, seed=5)
+    hints = sensed.hints
+    accel = _ground_truth_hints(sensed)
+    modes = {}
+    for hint in hints:
+        modes[hint.mode.value] = modes.get(hint.mode.value, 0) + 1
+    print(f"classifier decisions: {modes}")
+
+    schemes = [
+        ("atheros (stock)", AtherosRateAdaptation(), ()),
+        ("motion-aware", MobilityAwareAtherosRA(), hints),
+        ("rapidsample [1]", HintAwareRateControl(), accel),
+        ("softrate", SoftRate(seed=1), ()),
+        ("esnr", ESNRRate(seed=1), ()),
+    ]
+    print(f"\n{'scheme':<18}{'Mbps':>8}{'mean MCS':>10}{'frames':>8}")
+    for name, adapter, scheme_hints in schemes:
+        result = simulate_rate_control(
+            adapter,
+            sensed.trace,
+            transmitter=FrameTransmitter(seed=9),
+            hints=scheme_hints,
+            esnr_feedback_period_s=0.050,
+            record_timeline=True,
+        )
+        print(f"{name:<18}{result.throughput_mbps:>8.1f}{result.mean_mcs:>10.2f}"
+              f"{result.n_frames:>8}")
+
+    print(
+        "\nSoftRate/ESNR need client-side PHY support; the motion-aware scheme"
+        "\ncloses most of the gap using only AP-side CSI and ToF."
+    )
+
+
+if __name__ == "__main__":
+    main()

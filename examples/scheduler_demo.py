@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Mobility-aware multi-client scheduling (Section 9 future work).
+
+One AP serves three saturated clients: static, approaching, retreating.
+Compares round-robin, proportional-fair, and the mobility-aware scheduler
+that serves the retreating client while its channel lasts and defers the
+approaching one.
+
+Run:  python examples/scheduler_demo.py
+"""
+
+from repro.core.hints import MobilityEstimate
+from repro.mobility.modes import Heading, MobilityMode
+from repro.testing import synthetic_trace
+from repro.util.textplot import render_bars
+from repro.wlan.scheduler import (
+    MobilityAwareScheduler,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    simulate_scheduling,
+)
+
+DURATION_S = 20.0
+
+
+def main() -> None:
+    clients = {
+        "static": synthetic_trace(snr_db=22.0, duration_s=DURATION_S),
+        "approaching": synthetic_trace(
+            snr_db=lambda t: 10.0 + 1.2 * t, duration_s=DURATION_S, doppler_hz=23.0
+        ),
+        "retreating": synthetic_trace(
+            snr_db=lambda t: 34.0 - 1.2 * t, duration_s=DURATION_S, doppler_hz=23.0
+        ),
+    }
+    traces = list(clients.values())
+    hints = [
+        [MobilityEstimate(0.1, MobilityMode.STATIC)],
+        [MobilityEstimate(0.1, MobilityMode.MACRO, Heading.TOWARDS, tof_window_full=True)],
+        [MobilityEstimate(0.1, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True)],
+    ]
+
+    print(f"{'scheduler':<20}{'total':>8}{'fairness':>10}   per-client (Mbps)")
+    for scheduler, use_hints in (
+        (RoundRobinScheduler(), None),
+        (ProportionalFairScheduler(), None),
+        (MobilityAwareScheduler(), hints),
+    ):
+        result = simulate_scheduling(scheduler, traces, hints=use_hints, transmitter_seed=3)
+        per_client = "  ".join(
+            f"{name}={rate:.1f}" for name, rate in zip(clients, result.per_client_mbps)
+        )
+        print(
+            f"{scheduler.name:<20}{result.total_mbps:>8.1f}"
+            f"{result.fairness_index:>10.3f}   {per_client}"
+        )
+
+    aware = simulate_scheduling(MobilityAwareScheduler(), traces, hints=hints, transmitter_seed=3)
+    print()
+    print(
+        render_bars(
+            dict(zip(clients, aware.per_client_mbps)),
+            title="mobility-aware per-client throughput",
+            unit=" Mbps",
+        )
+    )
+    print(
+        "\nThe retreating client is served while its channel is still good;"
+        "\nthe approaching client catches up later at a cheaper rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

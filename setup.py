@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml metadata; this file only enables
+legacy `python setup.py develop` installs on minimal toolchains.
+"""
+from setuptools import setup
+
+setup()

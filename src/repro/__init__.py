@@ -1,0 +1,59 @@
+"""repro — mobility-aware WLAN protocols from PHY-layer information.
+
+A faithful, simulator-backed reproduction of *"Bringing Mobility-Awareness
+to WLANs using PHY Layer Information"* (Sun, Sen, Koutsonikolas,
+CoNEXT 2014).
+
+The public API in one breath::
+
+    from repro import (
+        MobilityClassifier,          # the paper's CSI+ToF classifier (Fig. 5)
+        csi_similarity,              # Eq. 1
+        LinkChannel, ChannelConfig,  # the wireless substrate
+        MobilityMode, Heading,
+    )
+
+See ``examples/quickstart.py`` for a runnable tour, ``DESIGN.md`` for the
+system inventory, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from repro.channel import ChannelConfig, ChannelTrace, LinkChannel
+from repro.core import (
+    ClassifierConfig,
+    MobilityClassifier,
+    MobilityEstimate,
+    MobilityPolicy,
+    PolicyTable,
+    csi_similarity,
+    default_policy_table,
+)
+from repro.mobility import (
+    EnvironmentActivity,
+    GroundTruth,
+    Heading,
+    MobilityMode,
+    MobilityScenario,
+)
+from repro.util.geometry import Point
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelTrace",
+    "ClassifierConfig",
+    "EnvironmentActivity",
+    "GroundTruth",
+    "Heading",
+    "LinkChannel",
+    "MobilityClassifier",
+    "MobilityEstimate",
+    "MobilityMode",
+    "MobilityPolicy",
+    "MobilityScenario",
+    "Point",
+    "PolicyTable",
+    "csi_similarity",
+    "default_policy_table",
+    "__version__",
+]

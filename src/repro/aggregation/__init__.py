@@ -1,0 +1,13 @@
+"""Frame-aggregation policies (paper Section 5)."""
+
+from repro.aggregation.policy import (
+    AggregationPolicy,
+    FixedAggregation,
+    MobilityAwareAggregation,
+)
+
+__all__ = [
+    "AggregationPolicy",
+    "FixedAggregation",
+    "MobilityAwareAggregation",
+]

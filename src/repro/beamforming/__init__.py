@@ -1,0 +1,18 @@
+"""MIMO beamforming and MU-MIMO with CSI feedback scheduling (Section 6)."""
+
+from repro.beamforming.feedback import FeedbackScheduler, FixedPeriodFeedback, MobilityAwareFeedback
+from repro.beamforming.mu_mimo import MuMimoEmulator, MuMimoResult
+from repro.beamforming.precoding import mrt_weights, zero_forcing_weights
+from repro.beamforming.su_bf import SuBeamformingResult, simulate_su_beamforming
+
+__all__ = [
+    "FeedbackScheduler",
+    "FixedPeriodFeedback",
+    "MobilityAwareFeedback",
+    "MuMimoEmulator",
+    "MuMimoResult",
+    "SuBeamformingResult",
+    "mrt_weights",
+    "simulate_su_beamforming",
+    "zero_forcing_weights",
+]

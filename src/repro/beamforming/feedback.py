@@ -1,0 +1,82 @@
+"""CSI feedback scheduling: fixed period vs mobility-adaptive period."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import PolicyTable, default_policy_table
+
+
+class FeedbackScheduler(abc.ABC):
+    """Decides when the AP solicits a CSI report from a client."""
+
+    name: str = "feedback"
+
+    def __init__(self) -> None:
+        self._last_feedback_s: Optional[float] = None
+
+    @abc.abstractmethod
+    def period_s(self) -> float:
+        """Current feedback period."""
+
+    def due(self, now_s: float) -> bool:
+        """Whether a feedback exchange should happen now."""
+        if self._last_feedback_s is None:
+            return True
+        return now_s - self._last_feedback_s >= self.period_s()
+
+    def mark(self, now_s: float) -> None:
+        """Record that feedback was collected at ``now_s``."""
+        self._last_feedback_s = now_s
+
+    def update_hint(self, estimate: MobilityEstimate) -> None:
+        """Receive a mobility hint.  Default: ignored."""
+
+    def reset(self) -> None:
+        self._last_feedback_s = None
+
+
+class FixedPeriodFeedback(FeedbackScheduler):
+    """Statically configured feedback period (the Fig. 11/12 baselines)."""
+
+    def __init__(self, period_ms: float) -> None:
+        super().__init__()
+        if period_ms <= 0:
+            raise ValueError("feedback period must be positive")
+        self._period_s = period_ms / 1000.0
+        self.name = f"fixed-{period_ms:g}ms"
+
+    def period_s(self) -> float:
+        return self._period_s
+
+
+class MobilityAwareFeedback(FeedbackScheduler):
+    """Table-2 adaptive feedback period.
+
+    ``mu_mimo=True`` selects the MU-MIMO column (macro clients feed back
+    even more often there, because stale CSI additionally leaks
+    interference into the other users).
+    """
+
+    name = "mobility-aware"
+
+    def __init__(
+        self,
+        policy_table: Optional[PolicyTable] = None,
+        mu_mimo: bool = False,
+        initial_period_ms: float = 50.0,
+    ) -> None:
+        super().__init__()
+        self._policy_table = policy_table or default_policy_table()
+        self._mu_mimo = mu_mimo
+        self._period_s = initial_period_ms / 1000.0
+
+    def update_hint(self, estimate: MobilityEstimate) -> None:
+        policy = self._policy_table.lookup(estimate.mode, estimate.heading)
+        period_ms = policy.mu_mimo_feedback_ms if self._mu_mimo else policy.su_bf_feedback_ms
+        self._period_s = period_ms / 1000.0
+
+    def period_s(self) -> float:
+        return self._period_s

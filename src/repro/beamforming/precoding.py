@@ -1,0 +1,67 @@
+"""Precoder computation: MRT for single-user TxBF, zero-forcing for MU-MIMO.
+
+Both operate per subcarrier on channel snapshots of shape
+``(K, n_tx)`` (one receive antenna per client, as in the paper's
+beamforming experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mrt_weights(h: np.ndarray) -> np.ndarray:
+    """Maximum-ratio-transmission weights per subcarrier.
+
+    ``h``: (K, n_tx) complex channel (client has one receive antenna).
+    Returns (K, n_tx) unit-norm weights: ``w_k = conj(h_k) / ||h_k||``.
+    """
+    h = np.asarray(h)
+    if h.ndim != 2:
+        raise ValueError(f"expected (K, n_tx), got shape {h.shape}")
+    norms = np.linalg.norm(h, axis=1, keepdims=True)
+    norms = np.maximum(norms, 1e-12)
+    return np.conj(h) / norms
+
+
+def zero_forcing_weights(h_users: np.ndarray) -> np.ndarray:
+    """Zero-forcing precoder per subcarrier for MU-MIMO.
+
+    ``h_users``: (U, K, n_tx) — one row of channels per user; requires
+    ``U <= n_tx``.  Returns (U, K, n_tx) unit-norm per-user weights such
+    that, on the *fed-back* channels, user ``i``'s signal nulls at every
+    other user:  ``h_j^H w_i ~= 0`` for ``j != i``.
+    """
+    h_users = np.asarray(h_users)
+    if h_users.ndim != 3:
+        raise ValueError(f"expected (U, K, n_tx), got shape {h_users.shape}")
+    n_users, n_sub, n_tx = h_users.shape
+    if n_users > n_tx:
+        raise ValueError(f"cannot zero-force {n_users} users with {n_tx} antennas")
+    weights = np.empty_like(h_users)
+    for k in range(n_sub):
+        h_k = h_users[:, k, :]  # (U, n_tx): rows are user channels
+        gram = h_k @ h_k.conj().T  # (U, U)
+        # Regularise: a singular Gram matrix means two users are colinear.
+        gram += np.eye(n_users) * 1e-9 * np.trace(gram).real / max(n_users, 1)
+        inverse = np.linalg.inv(gram)
+        pseudo = h_k.conj().T @ inverse  # (n_tx, U): columns are raw weights
+        norms = np.linalg.norm(pseudo, axis=0)
+        norms = np.maximum(norms, 1e-12)
+        weights[:, k, :] = (pseudo / norms).T
+    return weights
+
+
+def beamforming_gain(h_now: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-subcarrier received power ``|h_k . w_k|^2`` for one user.
+
+    ``weights`` follow the convention of :func:`mrt_weights` /
+    :func:`zero_forcing_weights` (already conjugate-matched), so the
+    received amplitude is the plain inner product ``sum_t h_kt w_kt``:
+    with fresh MRT weights it equals ``||h_k||``.
+    """
+    h_now = np.asarray(h_now)
+    weights = np.asarray(weights)
+    if h_now.shape != weights.shape:
+        raise ValueError("channel and weights shapes disagree")
+    return np.abs(np.einsum("kt,kt->k", h_now, weights)) ** 2

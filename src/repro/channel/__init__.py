@@ -1,0 +1,33 @@
+"""Wireless channel substrate: multipath propagation, CSI, RSSI, SNR.
+
+This package replaces the paper's physical testbed (HP MSM 460 APs with
+Atheros AR9390 CSI/ToF export, two office buildings).  It is a geometric
+sum-of-paths simulator:
+
+* each AP-client link gets a set of multipath components (one LoS ray plus
+  Rayleigh-faded reflections with exponentially decaying power);
+* the OFDM channel state ``H[subcarrier, tx_antenna, rx_antenna]`` is the
+  coherent sum of those rays;
+* *device* motion rotates the phase of **every** ray (each ray arrives from
+  its own direction), while *environmental* motion perturbs only a subset of
+  rays — exactly the mechanism the paper relies on to separate the two with
+  CSI similarity (Section 2.3);
+* large-scale behaviour (path loss with breakpoint, spatially correlated
+  shadowing) drives RSSI/SNR for the protocol experiments.
+"""
+
+from repro.channel.config import ChannelConfig
+from repro.channel.model import ChannelTrace, CSISample, LinkChannel, LinkQualityTrace
+from repro.channel.paths import PathSet
+from repro.channel.propagation import ShadowingProcess, path_loss_db
+
+__all__ = [
+    "CSISample",
+    "ChannelConfig",
+    "ChannelTrace",
+    "LinkChannel",
+    "LinkQualityTrace",
+    "PathSet",
+    "ShadowingProcess",
+    "path_loss_db",
+]

@@ -1,0 +1,90 @@
+"""Multipath ray sets for one AP-client link.
+
+A link's small-scale channel is the coherent sum of ``n_paths`` rays: one
+line-of-sight ray (Rician K factor) plus reflections whose power decays
+exponentially with excess delay.  Each ray carries an arrival direction at
+the client — that is what makes *device* motion rotate every ray's phase at
+a direction-dependent rate, fully re-randomising the channel within a
+fraction of a wavelength of movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.config import ChannelConfig
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class PathSet:
+    """The rays of one link.  Index 0 is always the LoS ray."""
+
+    amplitudes: np.ndarray  # (P,) complex; sum of |a|^2 == 1
+    excess_delays_s: np.ndarray  # (P,) seconds; LoS entry is 0
+    aoa_rad: np.ndarray  # (P,) arrival angles at the client
+    aod_rad: np.ndarray  # (P,) departure angles at the AP
+
+    def __post_init__(self) -> None:
+        p = len(self.amplitudes)
+        if not (len(self.excess_delays_s) == len(self.aoa_rad) == len(self.aod_rad) == p):
+            raise ValueError("path arrays must share one length")
+        if self.excess_delays_s[0] != 0.0:
+            raise ValueError("index 0 must be the LoS ray (zero excess delay)")
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.amplitudes)
+
+    def arrival_unit_vectors(self) -> np.ndarray:
+        """(P, 2) unit vectors of ray arrival directions at the client."""
+        return np.stack([np.cos(self.aoa_rad), np.sin(self.aoa_rad)], axis=1)
+
+    def total_power(self) -> float:
+        return float(np.sum(np.abs(self.amplitudes) ** 2))
+
+
+def draw_path_set(
+    config: ChannelConfig,
+    los_angle_rad: float,
+    seed: SeedLike = None,
+) -> PathSet:
+    """Draw a random ray set for a link whose LoS direction is known.
+
+    * LoS ray: power ``K/(K+1)``, zero excess delay, geometric angle.
+    * NLoS rays: total power ``1/(K+1)``; per-ray power follows the
+      exponential power-delay profile ``exp(-tau / rms_delay_spread)``;
+      complex Gaussian (Rayleigh) gains; angles uniform in ``[0, 2*pi)``.
+    """
+    rng = ensure_rng(seed)
+    n_nlos = config.n_paths - 1
+    k = config.rician_k_linear
+
+    excess = np.sort(rng.exponential(config.rms_delay_spread_s, size=n_nlos))
+    profile = np.exp(-excess / config.rms_delay_spread_s)
+    profile /= profile.sum()
+    nlos_power = profile / (1.0 + k)
+
+    raw = rng.normal(size=n_nlos) + 1j * rng.normal(size=n_nlos)
+    gains = raw / np.sqrt(2.0) * np.sqrt(nlos_power)
+
+    los_amplitude = np.sqrt(k / (1.0 + k)) * np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+
+    amplitudes = np.concatenate([[los_amplitude], gains])
+    # Normalise exactly so simulated RSSI is unbiased at the path-loss mean.
+    amplitudes = amplitudes / np.sqrt(np.sum(np.abs(amplitudes) ** 2))
+
+    delays = np.concatenate([[0.0], excess])
+    aoa = np.concatenate([[los_angle_rad], rng.uniform(0.0, 2.0 * np.pi, size=n_nlos)])
+    aod = np.concatenate(
+        [[los_angle_rad + np.pi], rng.uniform(0.0, 2.0 * np.pi, size=n_nlos)]
+    )
+    return PathSet(amplitudes=amplitudes, excess_delays_s=delays, aoa_rad=aoa, aod_rad=aod)
+
+
+def steering_vector(angles_rad: np.ndarray, n_antennas: int) -> np.ndarray:
+    """ULA steering: (P, n_antennas) phase factors at half-wavelength spacing."""
+    m = np.arange(n_antennas)
+    return np.exp(-1j * np.pi * np.outer(np.sin(angles_rad), m))

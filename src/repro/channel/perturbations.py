@@ -1,0 +1,105 @@
+"""Frame-level link perturbations: sub-sample fading and interference.
+
+Channel traces are sampled every few tens of ms; frames go on air every few
+ms.  Between trace samples two processes matter to frame outcomes:
+
+* **small-scale fading jitter** — the effective SNR wanders around the
+  sampled value as an AR(1) process whose correlation follows the Jakes
+  Doppler of the current mobility;
+* **interference bursts** — Poisson arrivals of co-channel interference
+  (neighbouring BSS traffic, non-WiFi emitters) that collapse the SINR for
+  tens of ms regardless of the channel.
+
+Both the rate-control simulator and the integrated stack simulator use one
+:class:`LinkPerturbations` instance per run, so every scheme compared on a
+trace experiences identical perturbations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.special import jakes_correlation
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Magnitudes of the two frame-level processes."""
+
+    fading_jitter_db: float = 1.5
+    interference_rate_hz: float = 0.8
+    interference_duration_s: float = 0.030
+    interference_penalty_db: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.fading_jitter_db < 0:
+            raise ValueError("fading jitter must be non-negative")
+        if self.interference_rate_hz < 0:
+            raise ValueError("interference rate must be non-negative")
+        if self.interference_duration_s <= 0 or self.interference_penalty_db < 0:
+            raise ValueError("interference parameters out of range")
+
+
+class LinkPerturbations:
+    """Stateful per-run perturbation process."""
+
+    def __init__(
+        self,
+        start_s: float,
+        end_s: float,
+        config: PerturbationConfig = PerturbationConfig(),
+        seed: SeedLike = None,
+    ) -> None:
+        if end_s <= start_s:
+            raise ValueError("end must follow start")
+        self.config = config
+        self._rng = ensure_rng(seed)
+        self._fade_db = float(self._rng.normal(0.0, config.fading_jitter_db))
+        self._last_t = start_s
+        self._bursts: List[Tuple[float, float]] = []
+        if config.interference_rate_hz > 0.0:
+            t = start_s
+            while True:
+                t += float(self._rng.exponential(1.0 / config.interference_rate_hz))
+                if t >= end_s:
+                    break
+                self._bursts.append(
+                    (t, t + float(self._rng.exponential(config.interference_duration_s)))
+                )
+        self._burst_index = 0
+
+    @property
+    def bursts(self) -> List[Tuple[float, float]]:
+        return list(self._bursts)
+
+    def advance(self, now_s: float, doppler_hz: float) -> Tuple[float, bool]:
+        """Advance to ``now_s``; return (fading offset dB, burst active).
+
+        Must be called with non-decreasing ``now_s``.
+        """
+        cfg = self.config
+        if cfg.fading_jitter_db > 0.0:
+            rho = float(jakes_correlation(doppler_hz, max(now_s - self._last_t, 0.0)))
+            innovation = cfg.fading_jitter_db * math.sqrt(max(0.0, 1.0 - rho * rho))
+            self._fade_db = rho * self._fade_db + float(self._rng.normal(0.0, innovation))
+        self._last_t = now_s
+        while self._burst_index < len(self._bursts) and self._bursts[self._burst_index][1] < now_s:
+            self._burst_index += 1
+        in_burst = (
+            self._burst_index < len(self._bursts)
+            and self._bursts[self._burst_index][0] <= now_s <= self._bursts[self._burst_index][1]
+        )
+        return self._fade_db, in_burst
+
+
+def trace_seed(snr_db: np.ndarray) -> int:
+    """Deterministic perturbation seed derived from a trace's content.
+
+    Schemes compared on the same trace share fading and interference.
+    """
+    return int(np.abs(np.asarray(snr_db)).sum() * 1000) % (2**31)

@@ -1,0 +1,100 @@
+"""Large-scale propagation: breakpoint path loss and correlated shadowing."""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.units import SPEED_OF_LIGHT
+
+
+def free_space_path_loss_db(distance_m: float, carrier_hz: float) -> float:
+    """Friis free-space path loss at ``distance_m`` metres."""
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    return 20.0 * math.log10(4.0 * math.pi * distance_m * carrier_hz / SPEED_OF_LIGHT)
+
+
+def path_loss_db(
+    distance_m: Union[float, np.ndarray],
+    carrier_hz: float,
+    breakpoint_m: float = 5.0,
+    exponent_near: float = 2.0,
+    exponent_far: float = 4.2,
+) -> Union[float, np.ndarray]:
+    """Indoor breakpoint path-loss model (IEEE TGn channel-model style).
+
+    Free-space (exponent ~2) out to ``breakpoint_m``, then a steeper slope
+    typical of office NLoS propagation.  Vectorised over ``distance_m``.
+    """
+    distances = np.asarray(distance_m, dtype=float)
+    if np.any(distances <= 0):
+        raise ValueError("all distances must be positive")
+    if breakpoint_m <= 0:
+        raise ValueError("breakpoint must be positive")
+    reference = free_space_path_loss_db(1.0, carrier_hz)
+    near = reference + 10.0 * exponent_near * np.log10(np.maximum(distances, 1e-3))
+    loss_at_break = reference + 10.0 * exponent_near * math.log10(breakpoint_m)
+    far = loss_at_break + 10.0 * exponent_far * np.log10(distances / breakpoint_m)
+    loss = np.where(distances <= breakpoint_m, near, far)
+    if np.isscalar(distance_m):
+        return float(loss)
+    return loss
+
+
+class ShadowingProcess:
+    """Log-normal shadowing, spatially correlated along the walked path.
+
+    Implemented as a Gauss-Markov process in *travelled distance*: two
+    positions ``d`` metres apart along the trajectory have shadowing
+    correlation ``exp(-d / decorrelation_m)`` (Gudmundson model).  A static
+    client therefore keeps a constant shadowing value, while a walking
+    client sees it drift — which is what makes "the strongest AP" change as
+    the user moves (Section 3).
+    """
+
+    def __init__(
+        self,
+        sigma_db: float,
+        decorrelation_m: float,
+        seed: SeedLike = None,
+    ) -> None:
+        if sigma_db < 0:
+            raise ValueError("sigma must be non-negative")
+        if decorrelation_m <= 0:
+            raise ValueError("decorrelation distance must be positive")
+        self.sigma_db = sigma_db
+        self.decorrelation_m = decorrelation_m
+        self._rng = ensure_rng(seed)
+        self._value_db = float(self._rng.normal(0.0, sigma_db)) if sigma_db > 0 else 0.0
+
+    @property
+    def value_db(self) -> float:
+        """Current shadowing value in dB."""
+        return self._value_db
+
+    def advance(self, moved_m: float) -> float:
+        """Advance the process after the client moved ``moved_m`` metres."""
+        if moved_m < 0:
+            raise ValueError("moved distance must be non-negative")
+        if self.sigma_db == 0.0 or moved_m == 0.0:
+            return self._value_db
+        rho = math.exp(-moved_m / self.decorrelation_m)
+        innovation_sigma = self.sigma_db * math.sqrt(max(0.0, 1.0 - rho * rho))
+        self._value_db = rho * self._value_db + float(self._rng.normal(0.0, innovation_sigma))
+        return self._value_db
+
+    def trace(self, moved_steps_m: np.ndarray) -> np.ndarray:
+        """Vectorised advance: one shadowing value per step of movement.
+
+        ``moved_steps_m[i]`` is the distance moved between sample ``i-1``
+        and sample ``i`` (the first entry is the movement before the first
+        returned sample, usually 0).
+        """
+        values = np.empty(len(moved_steps_m))
+        for i, step in enumerate(moved_steps_m):
+            values[i] = self.advance(float(step))
+        return values

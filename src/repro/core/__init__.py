@@ -1,0 +1,28 @@
+"""The paper's contribution: PHY-layer mobility classification and policy.
+
+* :mod:`repro.core.similarity` — CSI similarity metric (paper Eq. 1);
+* :mod:`repro.core.tof_trend` — ToF median filtering and trend detection;
+* :mod:`repro.core.classifier` — the Figure-5 state machine combining both;
+* :mod:`repro.core.policy` — the Table-2 per-mode protocol parameters;
+* :mod:`repro.core.hints` — the mobility-hint record shared with protocols;
+* :mod:`repro.core.aoa_extension` — the Section-9 future-work AoA augment.
+"""
+
+from repro.core.classifier import ClassifierConfig, MobilityClassifier
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import MobilityPolicy, PolicyTable, default_policy_table
+from repro.core.similarity import csi_similarity, csi_similarity_stream
+from repro.core.tof_trend import ToFTrend, ToFTrendDetector
+
+__all__ = [
+    "ClassifierConfig",
+    "MobilityClassifier",
+    "MobilityEstimate",
+    "MobilityPolicy",
+    "PolicyTable",
+    "ToFTrend",
+    "ToFTrendDetector",
+    "csi_similarity",
+    "csi_similarity_stream",
+    "default_policy_table",
+]

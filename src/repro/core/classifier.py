@@ -1,0 +1,163 @@
+"""The mobility classifier — Figure 5 of the paper.
+
+The AP samples CSI from the client's existing traffic (ACKs of data packets)
+every ``csi_sampling_period_s`` and keeps a moving average of the similarity
+between consecutive CSI samples.  Two empirically chosen thresholds split
+the similarity scale:
+
+* ``similarity > Thr_sta  (0.98)``  -> static
+* ``Thr_env < similarity <= Thr_sta (0.70..0.98)`` -> environmental mobility
+* ``similarity <= Thr_env (0.70)``  -> device mobility
+
+Only while the CSI indicates device mobility does the AP spend airtime on
+ToF measurement (20 ms probing).  The ToF trend detector then splits device
+mobility into micro vs macro, and gives the macro heading.  Leaving device
+mobility stops ToF measurement and resets the trend window, exactly as the
+Fig. 5 flow chart prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hints import MobilityEstimate
+from repro.core.similarity import csi_similarity
+from repro.core.tof_trend import ToFTrendConfig, ToFTrendDetector
+from repro.mobility.modes import Heading, MobilityMode
+from repro.util.filters import SlidingStatistics
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Thresholds and sampling parameters (paper Sections 2.3 and 2.5)."""
+
+    #: CSI sampling period; the paper settles on 500 ms (Fig. 6(a)).
+    csi_sampling_period_s: float = 0.5
+    #: Above this similarity the channel is stable: static client (Thr_sta).
+    threshold_static: float = 0.98
+    #: Below this similarity the device itself is moving (Thr_env).
+    threshold_environmental: float = 0.70
+    #: Moving-average window (in samples) over the similarity stream.
+    similarity_smoothing_window: int = 3
+    tof: ToFTrendConfig = field(default_factory=ToFTrendConfig)
+
+    def __post_init__(self) -> None:
+        if self.csi_sampling_period_s <= 0:
+            raise ValueError("CSI sampling period must be positive")
+        if not -1.0 <= self.threshold_environmental < self.threshold_static <= 1.0:
+            raise ValueError("thresholds must satisfy -1 <= Thr_env < Thr_sta <= 1")
+        if self.similarity_smoothing_window < 1:
+            raise ValueError("smoothing window must be >= 1")
+
+
+class MobilityClassifier:
+    """Streaming implementation of the Fig. 5 classification design."""
+
+    def __init__(self, config: ClassifierConfig = ClassifierConfig()) -> None:
+        self.config = config
+        self._previous_csi: Optional[np.ndarray] = None
+        self._similarity_stats = SlidingStatistics(config.similarity_smoothing_window)
+        self._tof_detector = ToFTrendDetector(config.tof)
+        self._tof_active = False
+        self._estimate: Optional[MobilityEstimate] = None
+        self._history: List[MobilityEstimate] = []
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def estimate(self) -> Optional[MobilityEstimate]:
+        """Most recent decision (``None`` before the second CSI sample)."""
+        return self._estimate
+
+    @property
+    def history(self) -> List[MobilityEstimate]:
+        """All decisions made so far (one per CSI sample after the first)."""
+        return list(self._history)
+
+    @property
+    def wants_tof(self) -> bool:
+        """Whether the AP should currently be probing ToF (Fig. 5 gating)."""
+        return self._tof_active
+
+    # ---------------------------------------------------------------- inputs
+
+    def push_tof(self, time_s: float, tof_cycles: float) -> None:
+        """Feed one raw ToF reading (every ~20 ms while ToF is active).
+
+        Readings pushed while ToF measurement is inactive are ignored — the
+        real system would simply not schedule the measurement exchange.
+        """
+        del time_s  # the detector is cadence-based; kept for API symmetry
+        if not self._tof_active:
+            return
+        self._tof_detector.push(tof_cycles)
+
+    def push_csi(self, time_s: float, csi: np.ndarray) -> Optional[MobilityEstimate]:
+        """Feed one CSI sample; returns the new decision (if one was made)."""
+        csi = np.asarray(csi)
+        if self._previous_csi is None:
+            self._previous_csi = csi
+            return None
+        similarity = csi_similarity(self._previous_csi, csi)
+        self._previous_csi = csi
+        self._similarity_stats.push(similarity)
+        smoothed = self._similarity_stats.mean()
+        decision = self._decide(time_s, smoothed)
+        self._estimate = decision
+        self._history.append(decision)
+        return decision
+
+    # ---------------------------------------------------------------- logic
+
+    def _decide(self, time_s: float, smoothed_similarity: float) -> MobilityEstimate:
+        cfg = self.config
+        if smoothed_similarity > cfg.threshold_static:
+            self._stop_tof()
+            return MobilityEstimate(
+                time_s=time_s,
+                mode=MobilityMode.STATIC,
+                csi_similarity=smoothed_similarity,
+            )
+        if smoothed_similarity > cfg.threshold_environmental:
+            self._stop_tof()
+            return MobilityEstimate(
+                time_s=time_s,
+                mode=MobilityMode.ENVIRONMENTAL,
+                csi_similarity=smoothed_similarity,
+            )
+        # Device mobility: consult (and if needed start) ToF measurement.
+        if not self._tof_active:
+            self._tof_active = True
+            self._tof_detector.reset()
+        trend = self._tof_detector.trend
+        heading = trend.heading
+        if heading == Heading.NONE:
+            return MobilityEstimate(
+                time_s=time_s,
+                mode=MobilityMode.MICRO,
+                csi_similarity=smoothed_similarity,
+                tof_window_full=self._tof_detector.window_full,
+            )
+        return MobilityEstimate(
+            time_s=time_s,
+            mode=MobilityMode.MACRO,
+            heading=heading,
+            csi_similarity=smoothed_similarity,
+            tof_window_full=True,
+        )
+
+    def _stop_tof(self) -> None:
+        if self._tof_active:
+            self._tof_active = False
+            self._tof_detector.reset()
+
+    def reset(self) -> None:
+        """Forget everything (e.g. after the client roams to another AP)."""
+        self._previous_csi = None
+        self._similarity_stats.reset()
+        self._stop_tof()
+        self._estimate = None
+        self._history.clear()

@@ -1,0 +1,45 @@
+"""Mobility-hint records exchanged between the classifier and protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mobility.modes import Heading, MobilityMode
+
+
+@dataclass(frozen=True)
+class MobilityEstimate:
+    """One classification decision, as shared with the AP's protocols.
+
+    Attributes:
+        time_s: decision time.
+        mode: estimated mobility mode.
+        heading: towards/away for macro mobility, NONE otherwise.
+        csi_similarity: the (smoothed) similarity value the decision used.
+        tof_window_full: whether the ToF trend window had filled — protocols
+            may treat early micro decisions (window still filling after a
+            mobility onset) as provisional.
+    """
+
+    time_s: float
+    mode: MobilityMode
+    heading: Heading = Heading.NONE
+    csi_similarity: Optional[float] = None
+    tof_window_full: bool = False
+
+    def __post_init__(self) -> None:
+        if self.heading != Heading.NONE and self.mode != MobilityMode.MACRO:
+            raise ValueError("heading is only meaningful for macro mobility")
+
+    @property
+    def is_device_mobility(self) -> bool:
+        return self.mode.is_device_mobility
+
+    @property
+    def moving_away(self) -> bool:
+        return self.mode == MobilityMode.MACRO and self.heading == Heading.AWAY
+
+    @property
+    def moving_towards(self) -> bool:
+        return self.mode == MobilityMode.MACRO and self.heading == Heading.TOWARDS

@@ -1,0 +1,116 @@
+"""CSI similarity — Equation 1 of the paper.
+
+The similarity between two CSI samples is the sample Pearson correlation of
+their per-subcarrier channel gains:
+
+    S(csi_t, csi_{t+tau}) =
+        sum_i (csi_t^i - mean(csi_t)) (csi_{t+tau}^i - mean(csi_{t+tau}))
+        -----------------------------------------------------------------
+        sqrt(sum_i (csi_t^i - mean)^2) * sqrt(sum_i (csi_{t+tau}^i - mean)^2)
+
+``csi^i`` is the *channel gain* of subcarrier ``i`` — the magnitude of the
+complex channel estimate.  Magnitudes rather than raw complex values are
+used because commodity CSI phase is polluted by carrier/sampling frequency
+offsets between unsynchronised transmitter and receiver; the per-subcarrier
+gain profile is the stable fingerprint of the multipath structure.
+
+For a MIMO link the similarity is computed per TX-RX antenna pair and
+averaged, which matches computing Eq. 1 on the stacked per-pair gains while
+being robust to per-chain gain differences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def _pair_similarity(gains_a: np.ndarray, gains_b: np.ndarray) -> float:
+    """Pearson correlation of two 1-D gain vectors (Eq. 1)."""
+    a = gains_a - gains_a.mean()
+    b = gains_b - gains_b.mean()
+    denom = float(np.sqrt(np.sum(a * a)) * np.sqrt(np.sum(b * b)))
+    if denom <= 1e-15:
+        # A perfectly flat gain profile carries no fingerprint; treat two
+        # flat profiles as identical (stable channel) rather than dividing
+        # by zero.
+        return 1.0
+    return float(np.sum(a * b) / denom)
+
+
+def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
+    """Similarity of two CSI samples (paper Eq. 1), in [-1, 1].
+
+    Accepts either 1-D per-subcarrier vectors or ``(K, n_tx, n_rx)``
+    matrices; complex input is reduced to channel gains with ``abs``.
+    """
+    csi_a = np.asarray(csi_a)
+    csi_b = np.asarray(csi_b)
+    if csi_a.shape != csi_b.shape:
+        raise ValueError(f"CSI shapes disagree: {csi_a.shape} vs {csi_b.shape}")
+    gains_a = np.abs(csi_a).astype(float)
+    gains_b = np.abs(csi_b).astype(float)
+    if gains_a.ndim == 1:
+        return _pair_similarity(gains_a, gains_b)
+    if gains_a.ndim == 3:
+        k, n_tx, n_rx = gains_a.shape
+        values = [
+            _pair_similarity(gains_a[:, t, r], gains_b[:, t, r])
+            for t in range(n_tx)
+            for r in range(n_rx)
+        ]
+        return float(np.mean(values))
+    raise ValueError(f"CSI must be 1-D or 3-D (K, n_tx, n_rx), got shape {gains_a.shape}")
+
+
+def csi_similarity_stream(csi_samples: Iterable[np.ndarray]) -> Iterator[float]:
+    """Similarity of each consecutive pair in a stream of CSI samples.
+
+    Yields one value per sample after the first — the quantity the
+    classifier thresholds (Fig. 5 tracks "similarity between consecutive
+    CSI values").
+    """
+    previous: Optional[np.ndarray] = None
+    for sample in csi_samples:
+        current = np.asarray(sample)
+        if previous is not None:
+            yield csi_similarity(previous, current)
+        previous = current
+
+
+def csi_similarity_series(h: np.ndarray, lag: int = 1) -> np.ndarray:
+    """Vectorised similarity of samples ``lag`` apart in a CSI trace.
+
+    ``h`` is ``(N, K, n_tx, n_rx)``; the result has ``N - lag`` entries
+    where entry ``i`` compares samples ``i`` and ``i + lag``.  Used by the
+    Fig. 2 sweeps where the same trace is analysed at many sampling periods.
+    """
+    h = np.asarray(h)
+    if h.ndim != 4:
+        raise ValueError(f"expected (N, K, n_tx, n_rx), got shape {h.shape}")
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    if len(h) <= lag:
+        return np.empty(0)
+    gains = np.abs(h).astype(float)
+    a = gains[:-lag]
+    b = gains[lag:]
+    a = a - a.mean(axis=1, keepdims=True)
+    b = b - b.mean(axis=1, keepdims=True)
+    num = np.sum(a * b, axis=1)
+    denom = np.sqrt(np.sum(a * a, axis=1)) * np.sqrt(np.sum(b * b, axis=1))
+    per_pair = np.where(denom > 1e-15, num / np.maximum(denom, 1e-15), 1.0)
+    return np.mean(per_pair, axis=(1, 2))
+
+
+def similarity_timescale(h: np.ndarray, dt_s: float, lags_s: Tuple[float, ...]) -> dict:
+    """Mean similarity at several time lags — the Fig. 2(a) curve."""
+    result = {}
+    for lag_s in lags_s:
+        lag = max(1, int(round(lag_s / dt_s)))
+        series = csi_similarity_series(h, lag=lag)
+        if len(series) == 0:
+            continue
+        result[lag_s] = float(np.mean(series))
+    return result

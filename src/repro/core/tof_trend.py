@@ -1,0 +1,157 @@
+"""ToF filtering and trend detection (paper Sections 2.4, 2.5).
+
+The pipeline: raw ToF readings arrive every 20 ms from data-ACK exchanges;
+they are aggregated once per second with a median filter (robust to the
+heavy-tailed measurement noise reported in [4]); a moving window of the
+per-second medians is tested for a monotone trend.
+
+* all medians trending **up**   -> macro mobility, moving **away** from the AP
+* all medians trending **down** -> macro mobility, moving **towards** the AP
+* otherwise                     -> micro mobility
+
+Commodity ToF is quantised to baseband clock cycles (44 MHz on the Atheros
+chipset: one cycle is ~6.8 m of round trip, ~3.4 m of distance), so a
+walking user advances the median by well under a cycle per second and the
+median series shows plateaus.  The paper's wording — ToF values that
+"*suggest* an increasing or decreasing trend" — is implemented here as a
+tolerance test: a trend holds if no step contradicts the direction by more
+than ``step_tolerance_cycles`` **and** the net change across the window
+exceeds ``min_net_cycles`` (which also rejects micro mobility, whose
+confined motion cannot move the round trip by more than ~2 cycles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mobility.modes import Heading
+from repro.util.filters import MedianFilter, MovingWindow
+
+
+class ToFTrend(enum.Enum):
+    """Direction of the distance trend seen in the ToF window."""
+
+    INCREASING = "increasing"
+    DECREASING = "decreasing"
+    NONE = "none"
+
+    @property
+    def heading(self) -> Heading:
+        """Map a distance trend to the client heading relative to the AP."""
+        if self is ToFTrend.INCREASING:
+            return Heading.AWAY
+        if self is ToFTrend.DECREASING:
+            return Heading.TOWARDS
+        return Heading.NONE
+
+
+@dataclass(frozen=True)
+class ToFTrendConfig:
+    """Knobs of the ToF pipeline (paper defaults in Section 2.5)."""
+
+    #: Raw ToF sampling interval (paper: every 20 ms).
+    sample_interval_s: float = 0.020
+    #: Median aggregation period (paper: every second).
+    median_period_s: float = 1.0
+    #: Trend window, in median periods.  The paper uses ~4 s; with integer
+    #: cycle quantisation a 5-median window (4 one-second intervals) is the
+    #: shortest that clears min_net_cycles at walking speed.
+    window_periods: int = 5
+    #: Maximum tolerated backward step inside an otherwise monotone window.
+    step_tolerance_cycles: float = 0.6
+    #: Minimum net change across the window to call a trend.  Must exceed
+    #: one quantisation step (1 cycle), otherwise a median flickering on a
+    #: cycle boundary registers as a trend.
+    min_net_cycles: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0 or self.median_period_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.median_period_s < self.sample_interval_s:
+            raise ValueError("median period must cover at least one sample")
+        if self.window_periods < 2:
+            raise ValueError("trend window needs at least 2 medians")
+        if self.step_tolerance_cycles < 0 or self.min_net_cycles <= 0:
+            raise ValueError("tolerances must be positive")
+
+    @property
+    def samples_per_median(self) -> int:
+        return max(1, int(round(self.median_period_s / self.sample_interval_s)))
+
+
+def detect_trend(
+    medians: List[float],
+    step_tolerance: float,
+    min_net: float,
+) -> ToFTrend:
+    """Classify a window of per-second ToF medians as a trend (or none)."""
+    if len(medians) < 2:
+        return ToFTrend.NONE
+    net = medians[-1] - medians[0]
+    steps = [b - a for a, b in zip(medians, medians[1:])]
+    if net >= min_net and all(step >= -step_tolerance for step in steps):
+        return ToFTrend.INCREASING
+    if net <= -min_net and all(step <= step_tolerance for step in steps):
+        return ToFTrend.DECREASING
+    return ToFTrend.NONE
+
+
+class ToFTrendDetector:
+    """Streaming ToF pipeline: raw samples in, trend decisions out.
+
+    Feed raw ToF readings (in clock cycles) with :meth:`push`.  Whenever a
+    median period completes, the detector re-evaluates the window and
+    :attr:`trend` / :attr:`heading` update.  The trend stays ``NONE`` until
+    the window has filled (the paper's detection delay of ``window`` seconds
+    after device mobility starts).
+    """
+
+    def __init__(self, config: ToFTrendConfig = ToFTrendConfig()) -> None:
+        self.config = config
+        self._median_filter = MedianFilter(config.samples_per_median)
+        self._window = MovingWindow(config.window_periods)
+        self._trend = ToFTrend.NONE
+
+    @property
+    def trend(self) -> ToFTrend:
+        return self._trend
+
+    @property
+    def heading(self) -> Heading:
+        return self._trend.heading
+
+    @property
+    def window_full(self) -> bool:
+        return self._window.full
+
+    @property
+    def medians(self) -> List[float]:
+        return self._window.values()
+
+    def push(self, tof_cycles: float) -> Optional[ToFTrend]:
+        """Add one raw ToF reading.
+
+        Returns the (re-)evaluated trend when a median period completes,
+        ``None`` otherwise.
+        """
+        median = self._median_filter.push(tof_cycles)
+        if median is None:
+            return None
+        self._window.push(median)
+        if self._window.full:
+            self._trend = detect_trend(
+                self._window.values(),
+                self.config.step_tolerance_cycles,
+                self.config.min_net_cycles,
+            )
+        else:
+            self._trend = ToFTrend.NONE
+        return self._trend
+
+    def reset(self) -> None:
+        """Forget all state (called when device mobility ends, Fig. 5)."""
+        self._median_filter.reset()
+        self._window.clear()
+        self._trend = ToFTrend.NONE

@@ -1,0 +1,23 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every module exposes a ``run(...)`` entry point returning a result object
+with a ``format_report()`` method; the ``benchmarks/`` suite calls these
+and prints the same rows/series the paper reports.  See the DESIGN.md
+per-experiment index for the mapping.
+"""
+
+from repro.experiments.common import (
+    ClassificationOutcome,
+    ConfusionMatrix,
+    classification_decisions,
+    run_classification,
+    standard_client_positions,
+)
+
+__all__ = [
+    "ClassificationOutcome",
+    "ConfusionMatrix",
+    "classification_decisions",
+    "run_classification",
+    "standard_client_positions",
+]

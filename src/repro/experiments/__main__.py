@@ -1,0 +1,151 @@
+"""Command-line runner for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1
+    python -m repro.experiments fig10 --quick
+    python -m repro.experiments all --quick
+
+``--quick`` runs reduced workloads (fewer links/walks, shorter traces);
+the default sizes match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ext_speed_sensitivity,
+    ext_threshold_sweep,
+    fig01_rssi,
+    fig02_csi,
+    fig04_tof,
+    fig06_sensitivity,
+    fig07_roaming,
+    fig08_rate_dynamics,
+    fig09_rate_eval,
+    fig10_aggregation,
+    fig11_su_beamforming,
+    fig12_mu_mimo,
+    fig13_overall,
+    table1_classification,
+)
+
+#: name -> (description, full-size runner, quick runner)
+EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
+    "fig1": (
+        "CDF of RSSI std dev per mobility mode",
+        lambda: fig01_rssi.run(duration_s=120.0, n_repetitions=3),
+        lambda: fig01_rssi.run(duration_s=40.0, n_repetitions=1),
+    ),
+    "fig2": (
+        "CSI similarity vs lag / CDFs / micro-macro overlap",
+        lambda: fig02_csi.run(duration_s=60.0, n_repetitions=2),
+        lambda: fig02_csi.run(duration_s=30.0, n_repetitions=1),
+    ),
+    "fig4": (
+        "ToF median time series, micro vs macro",
+        lambda: fig04_tof.run(duration_s=60.0),
+        lambda: fig04_tof.run(duration_s=30.0),
+    ),
+    "table1": (
+        "Mobility classification confusion matrix",
+        lambda: table1_classification.run(n_locations=6, duration_s=120.0),
+        lambda: table1_classification.run(n_locations=3, duration_s=60.0),
+    ),
+    "fig6": (
+        "Classifier sensitivity: CSI period and ToF window sweeps",
+        lambda: fig06_sensitivity.run(n_locations=3, duration_s=90.0),
+        lambda: fig06_sensitivity.run(n_locations=1, duration_s=50.0),
+    ),
+    "fig7": (
+        "Mobility-aware client roaming",
+        lambda: fig07_roaming.run(n_locations=5, n_walks=8, duration_s=45.0),
+        lambda: fig07_roaming.run(n_locations=3, n_walks=3, duration_s=40.0),
+    ),
+    "fig8": (
+        "Optimal bit-rate dynamics per mobility mode",
+        lambda: fig08_rate_dynamics.run(duration_s=60.0),
+        lambda: fig08_rate_dynamics.run(duration_s=30.0),
+    ),
+    "fig9": (
+        "Rate adaptation: motion-aware Atheros RA vs baselines",
+        lambda: fig09_rate_eval.run(n_links=6, n_walks=5, duration_s=30.0),
+        lambda: fig09_rate_eval.run(n_links=3, n_walks=2, duration_s=20.0),
+    ),
+    "fig10": (
+        "Mobility-aware frame aggregation",
+        lambda: fig10_aggregation.run(n_links=3, duration_s=25.0),
+        lambda: fig10_aggregation.run(n_links=2, duration_s=15.0),
+    ),
+    "fig11": (
+        "SU beamforming with adaptive CSI feedback",
+        lambda: fig11_su_beamforming.run(n_links=2, duration_s=15.0),
+        lambda: fig11_su_beamforming.run(n_links=1, duration_s=10.0),
+    ),
+    "fig12": (
+        "MU-MIMO with per-client adaptive CSI feedback",
+        lambda: fig12_mu_mimo.run(duration_s=15.0, n_emulations=4),
+        lambda: fig12_mu_mimo.run(duration_s=10.0, n_emulations=2),
+    ),
+    "fig13": (
+        "Overall: full mobility-aware stack vs defaults",
+        lambda: fig13_overall.run(n_tests=6, duration_s=50.0),
+        lambda: fig13_overall.run(n_tests=3, duration_s=40.0),
+    ),
+    "speed": (
+        "Extension: macro-detection recall vs walking speed",
+        lambda: ext_speed_sensitivity.run(n_runs_per_speed=2, duration_s=60.0),
+        lambda: ext_speed_sensitivity.run(n_runs_per_speed=1, duration_s=40.0),
+    ),
+    "thresholds": (
+        "Extension: CSI similarity threshold sweep",
+        lambda: ext_threshold_sweep.run(duration_s=90.0, n_locations=2),
+        lambda: ext_threshold_sweep.run(duration_s=45.0, n_locations=1),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workload for a fast look"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _, _) in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see available experiments", file=sys.stderr)
+        return 2
+
+    for name in names:
+        description, full, quick = EXPERIMENTS[name]
+        print(f"\n{'=' * 72}\n{name} — {description}\n{'=' * 72}")
+        started = time.time()
+        result = (quick if args.quick else full)()
+        print(result.format_report())
+        print(f"\n[{name} completed in {time.time() - started:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

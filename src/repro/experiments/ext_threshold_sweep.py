@@ -1,0 +1,125 @@
+"""Extension study — CSI similarity threshold sweep.
+
+The paper picks ``Thr_sta = 0.98`` and ``Thr_env = 0.7`` empirically
+(Section 2.3).  This study reproduces that calibration for our channel:
+it collects the smoothed similarity stream for each ground-truth class
+once, then scores every threshold pair offline (the CSI stage is a pure
+function of the smoothed similarity, so no re-simulation is needed).
+
+The output is the three-way accuracy (static / environmental / device) as
+a function of the two thresholds, and the best pair found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.channel.config import ChannelConfig
+from repro.channel.model import LinkChannel
+from repro.core.similarity import csi_similarity_series
+from repro.mobility.environment import EnvironmentActivity
+from repro.mobility.scenarios import (
+    environmental_scenario,
+    macro_scenario,
+    micro_scenario,
+    static_scenario,
+)
+from repro.util.filters import SlidingStatistics
+from repro.util.geometry import Point
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
+
+#: Candidate thresholds for the static boundary.
+STATIC_THRESHOLDS = (0.90, 0.94, 0.96, 0.98, 0.99)
+#: Candidate thresholds for the environmental/device boundary.
+ENV_THRESHOLDS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class ThresholdSweepResult:
+    """Three-way accuracy per (Thr_sta, Thr_env) pair."""
+
+    accuracy: Dict[Tuple[float, float], float]
+    n_samples: int
+
+    def best(self) -> Tuple[float, float]:
+        return max(self.accuracy, key=self.accuracy.get)
+
+    def accuracy_at(self, thr_sta: float, thr_env: float) -> float:
+        return self.accuracy[(thr_sta, thr_env)]
+
+    def format_report(self) -> str:
+        lines = ["Extension — CSI threshold sweep (3-way accuracy, %)"]
+        corner = "Thr_sta / Thr_env"
+        lines.append(f"{corner:>18}" + "".join(f"{e:>8.2f}" for e in ENV_THRESHOLDS))
+        for sta in STATIC_THRESHOLDS:
+            row = "".join(
+                f"{100 * self.accuracy[(sta, env)]:>8.1f}" for env in ENV_THRESHOLDS
+            )
+            lines.append(f"{sta:>18.2f}{row}")
+        best_sta, best_env = self.best()
+        lines.append(
+            f"best pair: Thr_sta={best_sta:.2f}, Thr_env={best_env:.2f} "
+            f"({100 * self.accuracy[self.best()]:.1f}% over {self.n_samples} samples)"
+        )
+        return "\n".join(lines)
+
+
+def _smoothed_similarity(measured: np.ndarray, window: int = 3) -> np.ndarray:
+    """The exact quantity the classifier thresholds."""
+    raw = csi_similarity_series(measured, lag=1)
+    stats = SlidingStatistics(window)
+    smoothed = np.empty(len(raw))
+    for i, value in enumerate(raw):
+        stats.push(float(value))
+        smoothed[i] = stats.mean()
+    return smoothed
+
+
+def run(
+    duration_s: float = 90.0,
+    n_locations: int = 2,
+    seed: SeedLike = 77,
+    channel_config: ChannelConfig = ChannelConfig(),
+) -> ThresholdSweepResult:
+    """Collect per-class smoothed similarity, then sweep threshold pairs."""
+    rng = ensure_rng(seed)
+    ap = Point(0.0, 0.0)
+    samples: List[Tuple[str, float]] = []  # (true class, smoothed similarity)
+    for _ in range(n_locations):
+        radius = float(rng.uniform(6.0, 20.0))
+        angle = float(rng.uniform(0.0, 2 * np.pi))
+        client = Point(radius * np.cos(angle), radius * np.sin(angle))
+        srngs = spawn_rngs(rng, 2)
+        scenarios = [
+            ("static", static_scenario(client)),
+            ("environmental", environmental_scenario(client, EnvironmentActivity.STRONG)),
+            ("device", micro_scenario(client, seed=srngs[0])),
+            ("device", macro_scenario(client, anchor=ap, approach_retreat=True, seed=srngs[1])),
+        ]
+        for label, scenario in scenarios:
+            trajectory = scenario.sample(duration_s, 0.5)  # CSI cadence directly
+            link = LinkChannel(
+                ap, channel_config, environment=scenario.environment, seed=rng
+            )
+            trace = link.evaluate(trajectory.times, trajectory.positions, include_h=True)
+            smoothed = _smoothed_similarity(trace.measured_csi(rng))
+            for value in smoothed[4:]:  # settle the moving average
+                samples.append((label, float(value)))
+
+    accuracy: Dict[Tuple[float, float], float] = {}
+    for thr_sta in STATIC_THRESHOLDS:
+        for thr_env in ENV_THRESHOLDS:
+            hits = 0
+            for label, value in samples:
+                if value > thr_sta:
+                    decided = "static"
+                elif value > thr_env:
+                    decided = "environmental"
+                else:
+                    decided = "device"
+                hits += decided == label
+            accuracy[(thr_sta, thr_env)] = hits / len(samples)
+    return ThresholdSweepResult(accuracy=accuracy, n_samples=len(samples))

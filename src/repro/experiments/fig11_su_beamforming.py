@@ -1,0 +1,185 @@
+"""Fig. 11 — SU transmit beamforming with adaptive CSI feedback.
+
+(a) Throughput vs fixed CSI feedback period per mobility mode: static
+    links prefer long periods (feedback is pure overhead), mobile links
+    need short periods (stale weights lose the array gain).
+(b) CDF across a mode mix: Table-2 adaptive feedback vs the default fixed
+    200 ms period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.beamforming.feedback import FixedPeriodFeedback, MobilityAwareFeedback
+from repro.beamforming.su_bf import simulate_su_beamforming
+from repro.channel.config import ChannelConfig
+from repro.experiments.common import (
+    bounded_walk_scenario,
+    sense_and_classify,
+    standard_client_positions,
+)
+from repro.mobility.environment import EnvironmentActivity
+from repro.mobility.scenarios import (
+    MobilityScenario,
+    environmental_scenario,
+    micro_scenario,
+    static_scenario,
+)
+from repro.util.geometry import Point
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.util.stats import EmpiricalCDF, format_cdf_rows
+
+FEEDBACK_PERIODS_MS = (20.0, 50.0, 100.0, 200.0, 500.0, 2000.0)
+
+#: Beamforming experiments use a single-receive-antenna client config
+#: (the paper used an AP as the client; smartphones lack explicit BF) and a
+#: NLoS-dominated channel (through-wall office links): with a strong LoS
+#: ray the spatial signature changes slowly and even stale weights keep
+#: most of the array gain, which is not the regime the paper measures.
+BF_CHANNEL = ChannelConfig(n_rx=1, rician_k_db=-5.0, n_paths=16)
+
+#: Beamforming staleness plays out within tens of ms at walking speed, so
+#: BF experiments evaluate the channel on a 5 ms grid.
+BF_DT_S = 0.005
+
+
+@dataclass
+class Fig11Result:
+    """Both panels."""
+
+    mean_by_mode_and_period: Dict[str, Dict[float, float]]
+    scheme_cdfs: Dict[str, EmpiricalCDF]
+
+    def format_report(self) -> str:
+        lines = ["Fig. 11(a) — SU-TxBF throughput (Mbps) vs CSI feedback period"]
+        lines.append(
+            f"{'mode':<16}" + "".join(f"{p:>8.0f}ms" for p in FEEDBACK_PERIODS_MS)
+        )
+        for mode, row in self.mean_by_mode_and_period.items():
+            lines.append(
+                f"{mode:<16}"
+                + "".join(f"{row.get(p, float('nan')):>10.1f}" for p in FEEDBACK_PERIODS_MS)
+            )
+        lines.append("")
+        lines.append(
+            format_cdf_rows(
+                self.scheme_cdfs,
+                "Fig. 11(b) — throughput (Mbps): adaptive vs 200 ms fixed feedback",
+            )
+        )
+        return "\n".join(lines)
+
+    def optimal_period_ms(self, mode: str) -> float:
+        row = self.mean_by_mode_and_period[mode]
+        return max(row, key=row.get)
+
+    def median_gain_percent(self) -> float:
+        aware = self.scheme_cdfs["adaptive"].median()
+        default = self.scheme_cdfs["fixed-200ms"].median()
+        return 100.0 * (aware - default) / max(default, 1e-6)
+
+
+def _mode_scenarios(location: Point, ap: Point, rng) -> List[MobilityScenario]:
+    srngs = spawn_rngs(rng, 2)
+    return [
+        static_scenario(location),
+        environmental_scenario(location, EnvironmentActivity.STRONG),
+        micro_scenario(location, seed=srngs[0]),
+        # The paper's beamforming client was a hand-carried AP, moved more
+        # slowly than natural walking; at 1.2 m/s the MRT gain is already
+        # mostly gone within one 20 ms feedback period.
+        bounded_walk_scenario(
+            location, ap, min_distance_m=16.0, max_distance_m=34.0, speed=1.0,
+            seed=srngs[1],
+        ),
+    ]
+
+
+def run_panel_a(
+    n_links: int = 2,
+    duration_s: float = 20.0,
+    seed: SeedLike = 110,
+) -> Dict[str, Dict[float, float]]:
+    rng = ensure_rng(seed)
+    ap = Point(0.0, 0.0)
+    locations = standard_client_positions(
+        n_links, ap, min_distance_m=16.0, max_distance_m=28.0, seed=rng
+    )
+    sums: Dict[str, Dict[float, List[float]]] = {}
+    for location in locations:
+        for scenario in _mode_scenarios(location, ap, rng):
+            mode = (
+                "environmental" if "environmental" in scenario.name else scenario.mode.value
+            )
+            sensed = sense_and_classify(
+                scenario,
+                ap,
+                duration_s=duration_s,
+                dt_s=BF_DT_S,
+                channel_config=BF_CHANNEL,
+                seed=rng,
+            )
+            bf_seed = int(rng.integers(0, 2**31))
+            for period in FEEDBACK_PERIODS_MS:
+                result = simulate_su_beamforming(
+                    sensed.trace,
+                    FixedPeriodFeedback(period),
+                    seed=bf_seed,
+                )
+                sums.setdefault(mode, {}).setdefault(period, []).append(
+                    result.throughput_mbps
+                )
+    return {
+        mode: {p: float(np.mean(v)) for p, v in row.items()} for mode, row in sums.items()
+    }
+
+
+def run_panel_b(
+    n_links: int = 3,
+    duration_s: float = 20.0,
+    seed: SeedLike = 111,
+) -> Dict[str, EmpiricalCDF]:
+    rng = ensure_rng(seed)
+    ap = Point(0.0, 0.0)
+    locations = standard_client_positions(
+        n_links, ap, min_distance_m=16.0, max_distance_m=28.0, seed=rng
+    )
+    cdfs = {"fixed-200ms": EmpiricalCDF(), "adaptive": EmpiricalCDF()}
+    for location in locations:
+        for scenario in _mode_scenarios(location, ap, rng):
+            sensed = sense_and_classify(
+                scenario,
+                ap,
+                duration_s=duration_s,
+                dt_s=BF_DT_S,
+                channel_config=BF_CHANNEL,
+                seed=rng,
+            )
+            bf_seed = int(rng.integers(0, 2**31))
+            for name, scheduler in (
+                ("fixed-200ms", FixedPeriodFeedback(200.0)),
+                ("adaptive", MobilityAwareFeedback()),
+            ):
+                result = simulate_su_beamforming(
+                    sensed.trace,
+                    scheduler,
+                    hints=sensed.hints,
+                    seed=bf_seed,
+                )
+                cdfs[name].add(result.throughput_mbps)
+    return cdfs
+
+
+def run(
+    n_links: int = 2,
+    duration_s: float = 20.0,
+    seed: SeedLike = 11,
+) -> Fig11Result:
+    rng = ensure_rng(seed)
+    panel_a = run_panel_a(n_links=n_links, duration_s=duration_s, seed=rng)
+    panel_b = run_panel_b(n_links=n_links + 1, duration_s=duration_s, seed=rng)
+    return Fig11Result(mean_by_mode_and_period=panel_a, scheme_cdfs=panel_b)

@@ -1,0 +1,98 @@
+"""CLI for CSI logs: inspect, classify, convert.
+
+Usage::
+
+    python -m repro.io info session.dat
+    python -m repro.io classify session.dat
+    python -m repro.io classify session.dat --period 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig, MobilityClassifier
+from repro.io.csitool import read_csitool_log, records_to_csi_stream
+
+
+def _cmd_info(args) -> int:
+    records = read_csitool_log(args.log)
+    if not records:
+        print("no CSI records found", file=sys.stderr)
+        return 1
+    times, _ = records_to_csi_stream(records)
+    duration = float(times[-1]) if len(times) > 1 else 0.0
+    rates = Counter(f"{r.n_tx}x{r.n_rx}" for r in records)
+    rss = [r.total_rss_dbm() for r in records]
+    print(f"records:    {len(records)}")
+    print(f"duration:   {duration:.1f} s")
+    print(f"antennas:   {dict(rates)}")
+    print(f"mean rate:  {len(records) / max(duration, 1e-9):.1f} packets/s")
+    print(f"RSS:        median {np.median(rss):.1f} dBm "
+          f"(p10 {np.percentile(rss, 10):.1f}, p90 {np.percentile(rss, 90):.1f})")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    records = read_csitool_log(args.log)
+    if len(records) < 2:
+        print("need at least two CSI records", file=sys.stderr)
+        return 1
+    times, matrices = records_to_csi_stream(records)
+    config = ClassifierConfig(csi_sampling_period_s=args.period)
+    classifier = MobilityClassifier(config)
+    decisions = Counter()
+    last_sample_t = -1e9
+    previous = None
+    print("time    decision")
+    for t, h in zip(times, matrices):
+        if t - last_sample_t < args.period:
+            continue  # resample the packet stream at the classifier period
+        last_sample_t = t
+        estimate = classifier.push_csi(float(t), h)
+        if estimate is None:
+            continue
+        label = estimate.mode.value
+        decisions[label] += 1
+        if label != previous:
+            print(f"{t:6.1f}s {label}")
+            previous = label
+    total = sum(decisions.values())
+    if total:
+        print("\nshare of decisions:")
+        for label, count in decisions.most_common():
+            print(f"  {label:<15} {100 * count / total:5.1f}%")
+    print(
+        "\nnote: ToF readings are not present in CSI Tool logs, so macro"
+        "\nmobility cannot be split from micro here (both report as micro)."
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.io", description="Inspect/classify CSI Tool logs."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarise a .dat log")
+    info.add_argument("log")
+    info.set_defaults(func=_cmd_info)
+
+    classify = sub.add_parser("classify", help="run the mobility classifier on a log")
+    classify.add_argument("log")
+    classify.add_argument(
+        "--period", type=float, default=0.5, help="CSI sampling period in seconds"
+    )
+    classify.set_defaults(func=_cmd_classify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Reader/writer for the Linux 802.11n CSI Tool log format (Intel 5300).
+
+The de-facto public CSI datasets (gesture, localisation, motion-detection
+corpora) were collected with Halperin et al.'s 802.11n CSI Tool, which logs
+"beamforming feedback" records in a simple binary framing:
+
+    [u16be field_len] [u8 code] [payload of field_len - 1 bytes] ...
+
+Records with code 0xBB carry one CSI measurement: a header (timestamp,
+antenna counts, per-chain RSSI, noise, AGC, antenna permutation, rate) and
+a bit-packed matrix of 30 subcarriers x Ntx x Nrx complex values with
+signed 8-bit components.
+
+:func:`read_csitool_log` parses such files into :class:`CsiRecord` objects;
+:func:`records_to_csi_stream` converts them into the ``(K, n_tx, n_rx)``
+matrices the :class:`~repro.core.classifier.MobilityClassifier` consumes,
+so the paper's classifier runs unchanged on real traces.
+:func:`write_csitool_log` produces the same format (used for round-trip
+tests and for exporting simulated traces to CSI-Tool-compatible tooling).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+import numpy as np
+
+#: Record code of a beamforming (CSI) measurement.
+BFEE_CODE = 0xBB
+#: The Intel 5300 reports 30 subcarrier groups regardless of bandwidth.
+N_SUBCARRIERS = 30
+
+
+@dataclass
+class CsiRecord:
+    """One parsed CSI measurement."""
+
+    timestamp_low: int  # microseconds, 32-bit wrap-around counter
+    bfee_count: int
+    n_rx: int
+    n_tx: int
+    rssi_a: int
+    rssi_b: int
+    rssi_c: int
+    noise: int
+    agc: int
+    antenna_sel: int
+    rate: int
+    csi: np.ndarray  # (30, n_tx, n_rx) complex
+
+    def __post_init__(self) -> None:
+        expected = (N_SUBCARRIERS, self.n_tx, self.n_rx)
+        if self.csi.shape != expected:
+            raise ValueError(f"csi shape {self.csi.shape} != {expected}")
+
+    @property
+    def permutation(self) -> Tuple[int, ...]:
+        """Receive-antenna permutation encoded in ``antenna_sel`` (0-based)."""
+        return tuple((self.antenna_sel >> (2 * i)) & 0x3 for i in range(self.n_rx))
+
+    def total_rss_dbm(self) -> float:
+        """Combined RSS across receive chains (CSI-Tool ``get_total_rss``)."""
+        magnitude = 0.0
+        for rssi in (self.rssi_a, self.rssi_b, self.rssi_c):
+            if rssi != 0:
+                magnitude += 10.0 ** (rssi / 10.0)
+        if magnitude == 0.0:
+            return float("-inf")
+        return 10.0 * np.log10(magnitude) - 44.0 - self.agc
+
+    def scaled_csi(self) -> np.ndarray:
+        """CSI scaled to absolute channel units (CSI-Tool ``get_scaled_csi``)."""
+        csi = self.csi
+        csi_pwr = float(np.sum(np.abs(csi) ** 2))
+        if csi_pwr == 0.0:
+            return csi.copy()
+        rssi_pwr = 10.0 ** (self.total_rss_dbm() / 10.0)
+        scale = rssi_pwr / (csi_pwr / N_SUBCARRIERS)
+        noise_db = -92.0 if self.noise == -127 else float(self.noise)
+        thermal_noise_pwr = 10.0 ** (noise_db / 10.0)
+        quant_error_pwr = scale * (self.n_rx * self.n_tx)
+        total_noise_pwr = thermal_noise_pwr + quant_error_pwr
+        ret = csi * np.sqrt(scale / total_noise_pwr)
+        if self.n_tx == 2:
+            ret = ret * np.sqrt(2.0)
+        elif self.n_tx == 3:
+            ret = ret * np.sqrt(10.0 ** (4.5 / 10.0))
+        return ret
+
+
+def _to_int8(raw: int) -> int:
+    """Reinterpret the low 8 bits of ``raw`` as a signed byte."""
+    return ((raw & 0xFF) + 0x80) % 0x100 - 0x80
+
+
+def _parse_bfee(payload: bytes) -> CsiRecord:
+    if len(payload) < 20:
+        raise ValueError("truncated beamforming record header")
+    timestamp_low, bfee_count = struct.unpack_from("<IH", payload, 0)
+    n_rx = payload[8]
+    n_tx = payload[9]
+    rssi_a, rssi_b, rssi_c = payload[10], payload[11], payload[12]
+    noise = struct.unpack_from("<b", payload, 13)[0]
+    agc = payload[14]
+    antenna_sel = payload[15]
+    length = struct.unpack_from("<H", payload, 16)[0]
+    rate = struct.unpack_from("<H", payload, 18)[0]
+    matrix_bytes = payload[20 : 20 + length]
+    expected_len = (N_SUBCARRIERS * (n_rx * n_tx * 8 * 2 + 3) + 7) // 8
+    if length != expected_len or len(matrix_bytes) != length:
+        raise ValueError(
+            f"csi matrix length {length} inconsistent with {n_tx}x{n_rx} antennas"
+        )
+
+    csi = np.empty((N_SUBCARRIERS, n_tx, n_rx), dtype=complex)
+    index = 0
+    for subcarrier in range(N_SUBCARRIERS):
+        index += 3
+        remainder = index % 8
+        for j in range(n_rx * n_tx):
+            byte0 = matrix_bytes[index // 8]
+            byte1 = matrix_bytes[index // 8 + 1]
+            byte2 = matrix_bytes[index // 8 + 2]
+            real = _to_int8((byte0 >> remainder) | ((byte1 << (8 - remainder)) & 0xFF))
+            imag = _to_int8((byte1 >> remainder) | ((byte2 << (8 - remainder)) & 0xFF))
+            # CSI Tool stores rx-major within each subcarrier.
+            rx = j % n_rx
+            tx = j // n_rx
+            csi[subcarrier, tx, rx] = complex(real, imag)
+            index += 16
+    return CsiRecord(
+        timestamp_low=timestamp_low,
+        bfee_count=bfee_count,
+        n_rx=n_rx,
+        n_tx=n_tx,
+        rssi_a=rssi_a,
+        rssi_b=rssi_b,
+        rssi_c=rssi_c,
+        noise=noise,
+        agc=agc,
+        antenna_sel=antenna_sel,
+        rate=rate,
+        csi=csi,
+    )
+
+
+def read_csitool_log(path: Union[str, os.PathLike]) -> List[CsiRecord]:
+    """Parse a CSI Tool ``.dat`` log into beamforming records.
+
+    Non-CSI records (other codes) are skipped, as in the reference reader.
+    A truncated trailing record is ignored rather than raising: logs cut
+    off mid-record are common when capture is interrupted.
+    """
+    records: List[CsiRecord] = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    total = len(data)
+    while offset + 3 <= total:
+        (field_len,) = struct.unpack_from(">H", data, offset)
+        code = data[offset + 2]
+        start = offset + 3
+        stop = start + field_len - 1
+        if stop > total:
+            break  # truncated tail
+        if code == BFEE_CODE:
+            records.append(_parse_bfee(data[start:stop]))
+        offset = stop
+    return records
+
+
+def _encode_bfee(record: CsiRecord) -> bytes:
+    n_rx, n_tx = record.n_rx, record.n_tx
+    length = (N_SUBCARRIERS * (n_rx * n_tx * 8 * 2 + 3) + 7) // 8
+    header = struct.pack(
+        "<IHBBBBBBBbBBHH",
+        record.timestamp_low,
+        record.bfee_count,
+        0,
+        0,  # reserved
+        n_rx,
+        n_tx,
+        record.rssi_a,
+        record.rssi_b,
+        record.rssi_c,
+        record.noise,
+        record.agc,
+        record.antenna_sel,
+        length,
+        record.rate,
+    )
+    # Re-pack the CSI matrix bit stream (inverse of _parse_bfee).
+    bits = bytearray(length + 2)  # slack for the shifted reads
+    index = 0
+    for subcarrier in range(N_SUBCARRIERS):
+        index += 3
+        remainder = index % 8
+        for j in range(n_rx * n_tx):
+            rx = j % n_rx
+            tx = j // n_rx
+            value = record.csi[subcarrier, tx, rx]
+            real = int(round(value.real)) & 0xFF
+            imag = int(round(value.imag)) & 0xFF
+            base = index // 8
+            bits[base] |= (real << remainder) & 0xFF
+            bits[base + 1] |= (real >> (8 - remainder)) & 0xFF if remainder else 0
+            bits[base + 1] |= (imag << remainder) & 0xFF
+            bits[base + 2] |= (imag >> (8 - remainder)) & 0xFF if remainder else 0
+            index += 16
+    return header + bytes(bits[:length])
+
+
+def write_csitool_log(records: Iterable[CsiRecord], path: Union[str, os.PathLike]) -> None:
+    """Write records in the CSI Tool binary framing (for tests/export)."""
+    with open(path, "wb") as handle:
+        for record in records:
+            payload = _encode_bfee(record)
+            handle.write(struct.pack(">H", len(payload) + 1))
+            handle.write(bytes([BFEE_CODE]))
+            handle.write(payload)
+
+
+def records_to_csi_stream(
+    records: Iterable[CsiRecord],
+    scaled: bool = True,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Convert records to (times_s, [csi matrices]) for the classifier.
+
+    Handles the 32-bit microsecond timestamp wrap-around.  The matrices
+    are ``(30, n_tx, n_rx)`` — the classifier's similarity metric accepts
+    any subcarrier count.
+    """
+    times: List[float] = []
+    matrices: List[np.ndarray] = []
+    wrap_offset = 0
+    previous_raw = None
+    for record in records:
+        raw = record.timestamp_low
+        if previous_raw is not None and raw < previous_raw - 2**31:
+            wrap_offset += 2**32
+        previous_raw = raw
+        times.append((raw + wrap_offset) / 1e6)
+        matrices.append(record.scaled_csi() if scaled else record.csi)
+    if times:
+        start = times[0]
+        times = [t - start for t in times]
+    return np.asarray(times), matrices

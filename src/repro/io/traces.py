@@ -1,0 +1,118 @@
+"""ChannelTrace persistence: save/replay expensive channel evaluations.
+
+Traces are stored as compressed ``.npz`` bundles with a format-version
+field, so long experiments (multi-AP walks, MU-MIMO client sets) can be
+evaluated once and replayed through any number of protocol variants —
+exactly the paper's trace-based emulation workflow.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.channel.model import ChannelTrace
+
+#: Bump when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "times",
+    "distances_m",
+    "rssi_dbm",
+    "snr_db",
+    "fading_db",
+    "doppler_hz",
+    "mimo_condition_db",
+)
+
+
+def save_trace(trace: ChannelTrace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace (including CSI, if present) to ``path`` (.npz)."""
+    payload = {name: getattr(trace, name) for name in _ARRAY_FIELDS}
+    payload["format_version"] = np.array(FORMAT_VERSION)
+    payload["csi_estimation_penalty_db"] = np.array(trace.csi_estimation_penalty_db)
+    if trace.h is not None:
+        payload["h"] = trace.h
+    if trace.effective_snr_db is not None:
+        payload["effective_snr_db"] = trace.effective_snr_db
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> ChannelTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace format version {version} not supported (expected {FORMAT_VERSION})"
+            )
+        kwargs = {name: data[name] for name in _ARRAY_FIELDS}
+        kwargs["csi_estimation_penalty_db"] = float(data["csi_estimation_penalty_db"])
+        if "h" in data:
+            kwargs["h"] = data["h"]
+        if "effective_snr_db" in data:
+            kwargs["effective_snr_db"] = data["effective_snr_db"]
+        return ChannelTrace(**kwargs)
+
+
+def save_multi(multi: "MultiApTraces", path: Union[str, os.PathLike]) -> None:
+    """Write a multi-AP walk bundle (trajectory + one trace per AP)."""
+    from repro.wlan.multilink import MultiApTraces  # local: avoid cycle
+
+    if not isinstance(multi, MultiApTraces):
+        raise TypeError("save_multi expects a MultiApTraces bundle")
+    payload = {
+        "format_version": np.array(FORMAT_VERSION),
+        "n_aps": np.array(multi.floorplan.n_aps),
+        "ap_xy": np.array([(p.x, p.y) for p in multi.floorplan.ap_positions]),
+        "bounds": np.array(multi.floorplan.bounds),
+        "trajectory_times": multi.trajectory.times,
+        "trajectory_positions": multi.trajectory.positions,
+        "trajectory_velocities": multi.trajectory.velocities,
+    }
+    for index, trace in enumerate(multi.traces):
+        for name in _ARRAY_FIELDS:
+            payload[f"trace{index}_{name}"] = getattr(trace, name)
+        payload[f"trace{index}_penalty"] = np.array(trace.csi_estimation_penalty_db)
+        if trace.h is not None:
+            payload[f"trace{index}_h"] = trace.h
+        if trace.effective_snr_db is not None:
+            payload[f"trace{index}_effective_snr_db"] = trace.effective_snr_db
+    np.savez_compressed(path, **payload)
+
+
+def load_multi(path: Union[str, os.PathLike]) -> "MultiApTraces":
+    """Read a bundle written by :func:`save_multi`."""
+    from repro.mobility.trajectory import TrajectoryTrace
+    from repro.util.geometry import Point
+    from repro.wlan.floorplan import Floorplan
+    from repro.wlan.multilink import MultiApTraces
+
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace format version {version} not supported (expected {FORMAT_VERSION})"
+            )
+        floorplan = Floorplan(
+            ap_positions=tuple(Point(float(x), float(y)) for x, y in data["ap_xy"]),
+            bounds=tuple(float(v) for v in data["bounds"]),
+        )
+        trajectory = TrajectoryTrace(
+            times=data["trajectory_times"],
+            positions=data["trajectory_positions"],
+            velocities=data["trajectory_velocities"],
+        )
+        traces = []
+        for index in range(int(data["n_aps"])):
+            kwargs = {name: data[f"trace{index}_{name}"] for name in _ARRAY_FIELDS}
+            kwargs["csi_estimation_penalty_db"] = float(data[f"trace{index}_penalty"])
+            if f"trace{index}_h" in data:
+                kwargs["h"] = data[f"trace{index}_h"]
+            if f"trace{index}_effective_snr_db" in data:
+                kwargs["effective_snr_db"] = data[f"trace{index}_effective_snr_db"]
+            traces.append(ChannelTrace(**kwargs))
+    return MultiApTraces(floorplan=floorplan, trajectory=trajectory, traces=traces)

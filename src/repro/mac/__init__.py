@@ -1,0 +1,10 @@
+"""802.11 MAC substrate: timing, A-MPDU aggregation, airtime accounting."""
+
+from repro.mac.aggregation import AggregatedFrameResult, FrameTransmitter
+from repro.mac.timing import MacTiming
+
+__all__ = [
+    "AggregatedFrameResult",
+    "FrameTransmitter",
+    "MacTiming",
+]

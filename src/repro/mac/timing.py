@@ -1,0 +1,45 @@
+"""802.11n MAC/PHY timing constants (5 GHz OFDM PHY)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Per-frame fixed time costs of an 802.11n exchange."""
+
+    sifs_s: float = 16e-6
+    difs_s: float = 34e-6
+    slot_s: float = 9e-6
+    #: Mean contention backoff (CWmin = 15 -> 7.5 slots) for a lone sender.
+    mean_backoff_slots: float = 7.5
+    #: HT mixed-format PHY preamble + header (L-STF..HT-LTFs, 2 streams).
+    ht_preamble_s: float = 40e-6
+    #: Legacy (non-HT) preamble, used by management/feedback frames.
+    legacy_preamble_s: float = 20e-6
+    #: Block ACK frame duration at a basic rate, preamble included.
+    block_ack_s: float = 50e-6
+    #: Regular ACK duration at a basic rate, preamble included.
+    ack_duration_s: float = 44e-6
+    #: Per-MPDU A-MPDU framing overhead (delimiter + padding + MAC header).
+    mpdu_overhead_bytes: int = 40
+
+    def __post_init__(self) -> None:
+        for name in ("sifs_s", "difs_s", "slot_s", "ht_preamble_s", "block_ack_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def mean_backoff_s(self) -> float:
+        return self.mean_backoff_slots * self.slot_s
+
+    def frame_overhead_s(self) -> float:
+        """Fixed per-exchange cost around the A-MPDU payload burst."""
+        return (
+            self.difs_s
+            + self.mean_backoff_s
+            + self.ht_preamble_s
+            + self.sifs_s
+            + self.block_ack_s
+        )

@@ -1,0 +1,54 @@
+"""Client mobility: modes, trajectory generators, environmental dynamics.
+
+The paper identifies four broad mobility categories (Section 1):
+
+* **static** — stationary client, quiet environment;
+* **environmental** — stationary client, moving people/objects nearby;
+* **micro** — the device moves, but stays confined within ~1 m (gestures,
+  VoIP-call head movement, pacing inside a cubicle);
+* **macro** — the user walks, changing location (and AP distance).
+
+Macro mobility additionally carries a *heading* relative to an AP:
+moving towards or moving away.
+"""
+
+from repro.mobility.environment import EnvironmentActivity, EnvironmentProcess
+from repro.mobility.modes import GroundTruth, Heading, MobilityMode
+from repro.mobility.scenarios import (
+    MobilityScenario,
+    circular_scenario,
+    environmental_scenario,
+    macro_scenario,
+    micro_scenario,
+    static_scenario,
+)
+from repro.mobility.trajectory import (
+    ApproachRetreatTrajectory,
+    CircularTrajectory,
+    MicroJitterTrajectory,
+    StaticTrajectory,
+    Trajectory,
+    TrajectoryTrace,
+    WaypointWalkTrajectory,
+)
+
+__all__ = [
+    "ApproachRetreatTrajectory",
+    "CircularTrajectory",
+    "EnvironmentActivity",
+    "EnvironmentProcess",
+    "GroundTruth",
+    "Heading",
+    "MicroJitterTrajectory",
+    "MobilityMode",
+    "MobilityScenario",
+    "StaticTrajectory",
+    "Trajectory",
+    "TrajectoryTrace",
+    "WaypointWalkTrajectory",
+    "circular_scenario",
+    "environmental_scenario",
+    "macro_scenario",
+    "micro_scenario",
+    "static_scenario",
+]

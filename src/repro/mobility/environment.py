@@ -1,0 +1,73 @@
+"""Environmental dynamics: people and objects moving around a static client.
+
+Environmental mobility perturbs only a *subset* of multipath components
+(paper Section 2.3: "environmental mobility typically affects only a few
+multipath components, whereas if the client itself is moving, all the
+multipath components will be affected").  The channel model consumes an
+:class:`EnvironmentProcess` describing how many scatterers move and how fast.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EnvironmentActivity(enum.Enum):
+    """Coarse activity level of the surroundings."""
+
+    NONE = "none"  # quiet lab, nobody moving
+    WEAK = "weak"  # a few people moving occasionally
+    STRONG = "strong"  # cafeteria at lunch hour
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class EnvironmentProcess:
+    """Parameters of scatterer motion around the link.
+
+    Attributes:
+        activity: coarse level, mapped to defaults by :meth:`from_activity`.
+        affected_path_fraction: fraction of multipath components whose
+            complex gain is perturbed by moving scatterers.
+        scatterer_speed: representative scatterer speed in m/s, which sets
+            the Doppler rate of the perturbed paths.
+        amplitude_fraction: how much of a perturbed path's amplitude rides
+            on the moving scatterer (the rest stays on static geometry).
+    """
+
+    activity: EnvironmentActivity
+    affected_path_fraction: float
+    scatterer_speed: float
+    amplitude_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.affected_path_fraction <= 1.0:
+            raise ValueError("affected_path_fraction must be in [0, 1]")
+        if self.scatterer_speed < 0.0:
+            raise ValueError("scatterer_speed must be non-negative")
+        if not 0.0 <= self.amplitude_fraction <= 1.0:
+            raise ValueError("amplitude_fraction must be in [0, 1]")
+
+    @classmethod
+    def from_activity(cls, activity: EnvironmentActivity) -> "EnvironmentProcess":
+        """Defaults per activity level, tuned to reproduce Fig. 2(b).
+
+        Weak environmental mobility keeps CSI similarity mostly between the
+        paper's two thresholds (0.7 - 0.98); strong mobility pushes part of
+        the distribution lower, overlapping device mobility exactly as the
+        "Environmental (Strong)" curve of Fig. 2(b) does.
+        """
+        if activity == EnvironmentActivity.NONE:
+            return cls(activity, affected_path_fraction=0.0, scatterer_speed=0.0, amplitude_fraction=0.0)
+        if activity == EnvironmentActivity.WEAK:
+            return cls(activity, affected_path_fraction=0.2, scatterer_speed=0.8, amplitude_fraction=0.3)
+        if activity == EnvironmentActivity.STRONG:
+            return cls(activity, affected_path_fraction=0.25, scatterer_speed=1.4, amplitude_fraction=0.36)
+        raise ValueError(f"unknown activity {activity!r}")
+
+    @property
+    def is_quiet(self) -> bool:
+        return self.affected_path_fraction == 0.0 or self.amplitude_fraction == 0.0

@@ -1,0 +1,72 @@
+"""Mobility mode and heading taxonomy (paper Section 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class MobilityMode(enum.Enum):
+    """The four broad client-mobility categories the classifier outputs."""
+
+    STATIC = "static"
+    ENVIRONMENTAL = "environmental"
+    MICRO = "micro"
+    MACRO = "macro"
+
+    @property
+    def is_device_mobility(self) -> bool:
+        """True for modes where the device itself moves (micro/macro)."""
+        return self in (MobilityMode.MICRO, MobilityMode.MACRO)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Heading(enum.Enum):
+    """Client heading relative to an AP, derived from the ToF trend."""
+
+    TOWARDS = "towards"
+    AWAY = "away"
+    NONE = "none"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """True mobility state at one instant, used to score the classifier."""
+
+    mode: MobilityMode
+    heading: Heading = Heading.NONE
+
+    def __post_init__(self) -> None:
+        if self.heading != Heading.NONE and self.mode != MobilityMode.MACRO:
+            raise ValueError("only macro mobility carries a towards/away heading")
+
+    def matches(self, mode: MobilityMode, heading: Optional[Heading] = None) -> bool:
+        """Check a classifier estimate against this ground truth.
+
+        Heading is only scored for macro mobility (the paper's Table 1 splits
+        macro into "moving towards AP" / "moving away from AP" rows).  At
+        instants where the true heading is indeterminate (turns, tangential
+        motion), any estimated heading is accepted.
+        """
+        if mode != self.mode:
+            return False
+        if heading is None or self.mode != MobilityMode.MACRO:
+            return True
+        if self.heading == Heading.NONE:
+            return True
+        return heading == self.heading
+
+
+#: Fixed ordering used by confusion matrices and report tables.
+MODE_ORDER = (
+    MobilityMode.STATIC,
+    MobilityMode.ENVIRONMENTAL,
+    MobilityMode.MICRO,
+    MobilityMode.MACRO,
+)

@@ -1,0 +1,21 @@
+"""802.11n PHY substrate: MCS rates, error model, ToF and CSI measurement."""
+
+from repro.phy.error import ErrorModel, sinr_with_stale_estimate
+from repro.phy.mcs import MCS, MCS_TABLE, atheros_usable_mcs, mcs_by_index
+from repro.phy.tof import ToFConfig, ToFSampler, tof_cycles_for_distance
+from repro.phy.csi_feedback import CSIFeedbackConfig, feedback_airtime_s, feedback_bytes
+
+__all__ = [
+    "CSIFeedbackConfig",
+    "ErrorModel",
+    "MCS",
+    "MCS_TABLE",
+    "ToFConfig",
+    "ToFSampler",
+    "atheros_usable_mcs",
+    "feedback_airtime_s",
+    "feedback_bytes",
+    "mcs_by_index",
+    "sinr_with_stale_estimate",
+    "tof_cycles_for_distance",
+]

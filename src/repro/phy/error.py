@@ -1,0 +1,161 @@
+"""SNR -> PER error model, including channel-estimate staleness.
+
+Two pieces:
+
+* A per-MCS packet-error-rate curve: a logistic function of SNR anchored at
+  the MCS's ``min_snr_db`` (~10% PER at 1000 bytes) with a slope typical of
+  frequency-selective indoor fading (a few dB from PER~1 to PER~0), and
+  length-scaled so longer MPDUs fail more often.
+* A staleness transform: 802.11 receivers equalise with the channel
+  estimated from the frame *preamble*.  If the channel decorrelates to
+  ``rho`` by the time an MPDU is transmitted, the estimation error acts as
+  self-interference:
+
+      SINR = rho^2 * SNR / ((1 - rho^2) * SNR + 1)
+
+  This is the standard imperfect-CSI SINR bound, and it is the mechanism
+  behind the paper's Fig. 10(a): under mobility, MPDUs late in a long
+  aggregate see a collapsed SINR and are lost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.phy.mcs import MCS, mcs_by_index
+
+ArrayLike = Union[float, np.ndarray]
+
+
+#: Fraction of the channel-estimate error that the receiver's pilot-based
+#: tracking removes within a frame.  802.11n receivers continuously correct
+#: common phase and residual frequency offset from the four pilot
+#: subcarriers, so only the differential (across-subcarrier) part of the
+#: drift survives as self-interference.
+PILOT_TRACKING_FACTOR = 0.93
+
+
+def sinr_with_stale_estimate(
+    snr_db: ArrayLike,
+    correlation: ArrayLike,
+    pilot_tracking: float = PILOT_TRACKING_FACTOR,
+) -> ArrayLike:
+    """Effective post-equalisation SINR with a stale channel estimate.
+
+    Estimation error power ``(1 - rho^2)`` acts as self-interference; pilot
+    tracking removes a fraction ``pilot_tracking`` of it.
+    """
+    snr = 10.0 ** (np.asarray(snr_db, dtype=float) / 10.0)
+    rho = np.clip(np.asarray(correlation, dtype=float), 0.0, 1.0)
+    error = (1.0 - rho * rho) * (1.0 - pilot_tracking)
+    sinr = (1.0 - error) * snr / (error * snr + 1.0)
+    out = 10.0 * np.log10(np.maximum(sinr, 1e-9))
+    if np.isscalar(snr_db) and np.isscalar(correlation):
+        return float(out)
+    return out
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Logistic PER curves per MCS.
+
+    ``slope_db`` controls how fast PER falls with SNR; ``reference_bytes``
+    anchors the curves at the calibration packet length; ``stream_penalty``
+    converts the MIMO condition number into an SNR penalty for double-stream
+    rates (a badly conditioned channel cannot support spatial multiplexing).
+    """
+
+    slope_db: float = 2.0
+    reference_bytes: int = 1000
+    per_floor: float = 1e-4
+    condition_penalty_scale: float = 0.35
+
+    def per(
+        self,
+        mcs: Union[int, MCS],
+        snr_db: ArrayLike,
+        payload_bytes: int = 1500,
+        mimo_condition_db: ArrayLike = 0.0,
+    ) -> ArrayLike:
+        """Packet error rate of one MPDU at the given SNR.
+
+        ``mimo_condition_db`` is the ratio (dB) of the two strongest
+        singular values of the narrowband channel; it only penalises
+        2-stream MCSs.
+        """
+        if isinstance(mcs, int):
+            mcs = mcs_by_index(mcs)
+        snr = np.asarray(snr_db, dtype=float)
+        effective = snr.copy()
+        if mcs.streams == 2:
+            # Power split across streams (-3 dB) plus conditioning penalty:
+            # the weak stream carries half the bits and dominates PER.
+            condition = np.asarray(mimo_condition_db, dtype=float)
+            effective = effective - 3.0 - self.condition_penalty_scale * np.maximum(
+                condition - 3.0, 0.0
+            )
+        margin = (effective - mcs.min_snr_db) / self.slope_db
+        # Calibrated so margin = 0 -> 10% PER at the reference length:
+        # 1 / (1 + exp(anchor * (margin + 1))) equals 0.1 at margin = 0.
+        anchor = math.log(1.0 / 0.1 - 1.0)
+        per_ref = 1.0 / (1.0 + np.exp(anchor * (margin + 1.0)))
+        length_scale = max(payload_bytes, 1) / self.reference_bytes
+        per = 1.0 - np.power(1.0 - np.minimum(per_ref, 1.0 - 1e-12), length_scale)
+        per = np.clip(per, self.per_floor, 1.0)
+        if np.isscalar(snr_db) and np.isscalar(mimo_condition_db):
+            return float(per)
+        return per
+
+    def per_stale(
+        self,
+        mcs: Union[int, MCS],
+        snr_db: ArrayLike,
+        correlation: ArrayLike,
+        payload_bytes: int = 1500,
+        mimo_condition_db: ArrayLike = 0.0,
+    ) -> ArrayLike:
+        """PER of an MPDU equalised with a stale (correlation ``rho``) estimate."""
+        sinr = sinr_with_stale_estimate(snr_db, correlation)
+        return self.per(mcs, sinr, payload_bytes, mimo_condition_db)
+
+    def best_mcs(
+        self,
+        snr_db: float,
+        payload_bytes: int = 1500,
+        mimo_condition_db: float = 0.0,
+        bandwidth_hz: float = 40e6,
+        candidates=None,
+    ) -> int:
+        """Throughput-optimal MCS index at a known SNR (the Fig. 8 oracle)."""
+        from repro.phy.mcs import MCS_TABLE
+
+        best_index = 0
+        best_goodput = -1.0
+        pool = MCS_TABLE if candidates is None else [mcs_by_index(i) for i in candidates]
+        for mcs in pool:
+            per = self.per(mcs, snr_db, payload_bytes, mimo_condition_db)
+            goodput = mcs.rate_mbps(bandwidth_hz) * (1.0 - per)
+            if goodput > best_goodput:
+                best_goodput = goodput
+                best_index = mcs.index
+        return best_index
+
+    def expected_goodput_mbps(
+        self,
+        snr_db: float,
+        payload_bytes: int = 1500,
+        mimo_condition_db: float = 0.0,
+        bandwidth_hz: float = 40e6,
+    ) -> float:
+        """Best-case MAC-layer goodput ``rate * (1 - PER)`` at this SNR."""
+        from repro.phy.mcs import MCS_TABLE
+
+        best = 0.0
+        for mcs in MCS_TABLE:
+            per = self.per(mcs, snr_db, payload_bytes, mimo_condition_db)
+            best = max(best, mcs.rate_mbps(bandwidth_hz) * (1.0 - per))
+        return best

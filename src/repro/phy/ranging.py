@@ -1,0 +1,127 @@
+"""ToF-based ranging: distance estimation from the data-ACK exchange.
+
+The classifier only needs the ToF *trend*, but the controller's roaming
+preparation (Section 3.1) also uses the client's *distance* to neighbour
+APs ("compute the client's distance, RSSI and heading information towards
+themselves"), and the underlying ranging quality is what [4] (CUPID/SAIL)
+characterises.  This module turns raw ToF readings into calibrated
+distance estimates and quantifies their error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.phy.tof import ToFConfig
+from repro.util.filters import MedianFilter
+from repro.util.units import SPEED_OF_LIGHT
+
+
+@dataclass
+class RangingEstimate:
+    """One distance estimate with its supporting statistics."""
+
+    distance_m: float
+    n_readings: int
+    median_cycles: float
+
+
+class ToFRangeEstimator:
+    """Streaming ToF -> distance estimator.
+
+    The fixed turnaround offset (SIFS + hardware latencies) must be removed
+    before converting cycles to metres; it is chipset-specific and obtained
+    by :meth:`calibrate` against one known distance — the per-AP, per-model
+    calibration step the ranging literature describes.
+    """
+
+    def __init__(
+        self,
+        config: ToFConfig = ToFConfig(),
+        readings_per_estimate: int = 50,
+    ) -> None:
+        self.config = config
+        self._median = MedianFilter(readings_per_estimate)
+        self._offset_cycles: Optional[float] = float(config.turnaround_cycles)
+        self.readings_per_estimate = readings_per_estimate
+
+    @property
+    def calibrated(self) -> bool:
+        return self._offset_cycles is not None
+
+    def calibrate(self, readings: Sequence[float], known_distance_m: float) -> float:
+        """Derive the turnaround offset from readings at a known distance."""
+        if known_distance_m < 0:
+            raise ValueError("distance must be non-negative")
+        if len(readings) < 3:
+            raise ValueError("calibration needs at least a few readings")
+        median = float(np.median(readings))
+        roundtrip_cycles = 2.0 * known_distance_m / SPEED_OF_LIGHT * self.config.clock_hz
+        self._offset_cycles = median - roundtrip_cycles
+        return self._offset_cycles
+
+    def cycles_to_distance(self, median_cycles: float) -> float:
+        """Convert an offset-corrected ToF median to one-way distance."""
+        if self._offset_cycles is None:
+            raise ValueError("estimator is not calibrated")
+        roundtrip_cycles = median_cycles - self._offset_cycles
+        distance = roundtrip_cycles * SPEED_OF_LIGHT / self.config.clock_hz / 2.0
+        return max(distance, 0.0)
+
+    def push(self, tof_cycles: float) -> Optional[RangingEstimate]:
+        """Add one raw reading; returns an estimate per completed batch."""
+        median = self._median.push(tof_cycles)
+        if median is None:
+            return None
+        return RangingEstimate(
+            distance_m=self.cycles_to_distance(median),
+            n_readings=self.readings_per_estimate,
+            median_cycles=median,
+        )
+
+    def reset(self) -> None:
+        self._median.reset()
+
+
+@dataclass
+class RangingErrorStats:
+    """Error summary of a ranging evaluation run."""
+
+    median_abs_error_m: float
+    p90_abs_error_m: float
+    bias_m: float
+    n_estimates: int
+
+
+def evaluate_ranging(
+    estimator: ToFRangeEstimator,
+    readings: Sequence[float],
+    true_distances_m: Sequence[float],
+) -> RangingErrorStats:
+    """Feed readings through the estimator and score against ground truth.
+
+    ``true_distances_m`` must align with ``readings`` (one per reading);
+    each estimate is scored against the mean true distance over its batch.
+    """
+    if len(readings) != len(true_distances_m):
+        raise ValueError("readings and ground truth must align")
+    errors: List[float] = []
+    batch_truth: List[float] = []
+    for reading, truth in zip(readings, true_distances_m):
+        batch_truth.append(float(truth))
+        estimate = estimator.push(float(reading))
+        if estimate is not None:
+            errors.append(estimate.distance_m - float(np.mean(batch_truth)))
+            batch_truth.clear()
+    if not errors:
+        raise ValueError("not enough readings for a single estimate")
+    arr = np.asarray(errors)
+    return RangingErrorStats(
+        median_abs_error_m=float(np.median(np.abs(arr))),
+        p90_abs_error_m=float(np.percentile(np.abs(arr), 90)),
+        bias_m=float(np.mean(arr)),
+        n_estimates=len(errors),
+    )

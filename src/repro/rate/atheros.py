@@ -1,0 +1,158 @@
+"""The Atheros MIMO rate adaptation algorithm (paper Section 4.1).
+
+A transmitter-side, frame-based scheme: no training, no client feedback.
+
+* Per-rate PER is a weighted moving average (Eq. 2) with smoothing factor
+  ``alpha`` (default 1/8);
+* PER monotonicity across the ladder is enforced after every update (the
+  ladder already skips MCS 5-7 single-stream and MCS 8 double-stream);
+* a frame that gets no Block ACK steps the rate down (after the configured
+  number of same-rate retries — 0 in stock Atheros);
+* if the smoothed PER at the current rate is too high, step down;
+* if the current rate has been successful for longer than the probe
+  interval, probe the next higher rate with one frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.phy.mcs import atheros_usable_mcs, mcs_by_index
+from repro.rate.base import LadderMixin, PhyFeedback, RateAdapter
+
+#: Smoothed PER above which the current rate is abandoned.
+DOWN_PER_THRESHOLD = 0.40
+#: Probe-frame PER below which the probed (higher) rate is adopted.
+PROBE_ACCEPT_PER = 0.30
+#: Maximum rate reductions within one run of consecutive failures.  The
+#: hardware multi-rate retry chain walks down only a few entries per PPDU,
+#: so even a long interference burst cannot ratchet the rate to the floor.
+MAX_DOWN_STEPS_PER_FAILURE_RUN = 3
+
+
+class AtherosRateAdaptation(LadderMixin, RateAdapter):
+    """Stock Atheros MIMO RA."""
+
+    name = "atheros"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = None,
+        alpha: float = 1.0 / 8.0,
+        probe_interval_s: float = 0.100,
+        retries_before_down: int = 0,
+    ) -> None:
+        LadderMixin.__init__(self, ladder or atheros_usable_mcs())
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if probe_interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        self.alpha = alpha
+        self.probe_interval_s = probe_interval_s
+        self.retries_before_down = retries_before_down
+        self._per: Dict[int, float] = {mcs: 0.0 for mcs in self.ladder}
+        self._consecutive_failures = 0
+        self._down_steps_in_run = 0
+        self._last_rate_change_s = 0.0
+        self._probing = False
+        self._probe_position: Optional[int] = None
+
+    # ------------------------------------------------------------- selection
+
+    def select(self, now_s: float) -> int:
+        if (
+            not self._probing
+            and self.position < len(self.ladder) - 1
+            and now_s - self._last_rate_change_s >= self.probe_interval_s
+            and self._consecutive_failures == 0
+        ):
+            self._probing = True
+            self._probe_position = self.position + 1
+            return self.ladder[self._probe_position]
+        if self._probing and self._probe_position is not None:
+            return self.ladder[self._probe_position]
+        return self.current_mcs
+
+    # ------------------------------------------------------------ observation
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        del feedback  # frame-based scheme: outcomes only
+        if self._probing:
+            self._finish_probe(now_s, result)
+            return
+
+        if not result.block_ack_received:
+            # Complete loss: no PER sample is available (no Block ACK),
+            # retry at the current rate up to the configured count.
+            self._update_per(result.mcs_index, 1.0)
+            self._consecutive_failures += 1
+            # Fast descent for the first few steps of a failure run (the
+            # hardware retry chain), then a slow crawl: a genuinely dead
+            # rate region must still be escaped, just not by a 30 ms
+            # interference burst.
+            fast = self._down_steps_in_run < MAX_DOWN_STEPS_PER_FAILURE_RUN
+            slow = self._consecutive_failures >= 8
+            if self._consecutive_failures > self.retries_before_down and (fast or slow):
+                self.step_down()
+                self._down_steps_in_run += 1
+                self._consecutive_failures = 0
+                self._last_rate_change_s = now_s
+            return
+
+        self._consecutive_failures = 0
+        self._down_steps_in_run = 0
+        self._update_per(result.mcs_index, result.instantaneous_per)
+        if self._per[self.current_mcs] > DOWN_PER_THRESHOLD:
+            self.step_down()
+            self._last_rate_change_s = now_s
+
+    def _finish_probe(self, now_s: float, result: AggregatedFrameResult) -> None:
+        probe_mcs = self.ladder[self._probe_position]
+        per = 1.0 if not result.block_ack_received else result.instantaneous_per
+        self._update_per(probe_mcs, per)
+        if result.block_ack_received and result.instantaneous_per < PROBE_ACCEPT_PER:
+            self.set_position(self._probe_position)
+        self._probing = False
+        self._probe_position = None
+        self._last_rate_change_s = now_s
+
+    # ------------------------------------------------------------- internals
+
+    def _update_per(self, mcs_index: int, per_new: float) -> None:
+        """Eq. 2 EWMA plus the monotonicity propagation."""
+        old = self._per[mcs_index]
+        value = self.alpha * per_new + (1.0 - self.alpha) * old
+        self._per[mcs_index] = value
+        pos = self.ladder.index(mcs_index)
+        # PER is assumed monotonically increasing in ladder position.
+        for i in range(pos + 1, len(self.ladder)):
+            higher = self.ladder[i]
+            if self._per[higher] < value:
+                self._per[higher] = value
+        for i in range(pos - 1, -1, -1):
+            lower = self.ladder[i]
+            if self._per[lower] > value:
+                self._per[lower] = value
+
+    def per_estimate(self, mcs_index: int) -> float:
+        """Current smoothed PER estimate for a rate (for tests/inspection)."""
+        return self._per[mcs_index]
+
+    def expected_throughput_mbps(self, mcs_index: int, bandwidth_hz: float = 40e6) -> float:
+        """The objective the algorithm maximises: rate * (1 - PER)."""
+        return mcs_by_index(mcs_index).rate_mbps(bandwidth_hz) * (1.0 - self._per[mcs_index])
+
+    def reset(self) -> None:
+        self._per = {mcs: 0.0 for mcs in self.ladder}
+        self._consecutive_failures = 0
+        self._down_steps_in_run = 0
+        self._last_rate_change_s = 0.0
+        self._probing = False
+        self._probe_position = None
+        self.set_position(len(self.ladder) - 1)

@@ -1,0 +1,102 @@
+"""Rate-adaptation interface shared by all schemes.
+
+A rate adapter sees exactly what its real counterpart would see:
+
+* frame outcomes (:class:`repro.mac.aggregation.AggregatedFrameResult`) —
+  the only input of frame-based schemes like Atheros RA and SampleRate;
+* optional PHY feedback (:class:`PhyFeedback`) — what SoftRate (per-frame
+  SINR from soft decisions) and ESNR (CSI-derived effective SNR) consume;
+* optional mobility hints (:class:`repro.core.hints.MobilityEstimate`) —
+  what the paper's mobility-aware scheme and RapidSample's sensor hints
+  consume.
+
+The simulator never leaks the true channel into schemes that could not
+physically observe it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hints import MobilityEstimate
+from repro.mac.aggregation import AggregatedFrameResult
+
+
+@dataclass(frozen=True)
+class PhyFeedback:
+    """PHY-layer observables attached to a frame outcome.
+
+    Attributes:
+        soft_snr_db: per-frame SINR estimate from soft decoder outputs —
+            available even for failed frames (SoftRate's input).  ``None``
+            for receivers without SoftPHY support.
+        esnr_db: effective SNR computed from the most recent CSI feedback
+            (ESNR's input); reflects the *feedback* freshness, not the
+            instant of the frame.
+        mimo_condition_db: singular-value spread of the CSI-derived MIMO
+            channel — CSI-based schemes (ESNR) use it to judge whether
+            2-stream rates are viable.
+    """
+
+    soft_snr_db: Optional[float] = None
+    esnr_db: Optional[float] = None
+    mimo_condition_db: float = 0.0
+
+
+class RateAdapter(abc.ABC):
+    """Base class for all rate-control schemes."""
+
+    #: Human-readable scheme name used in benchmark tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(self, now_s: float) -> int:
+        """MCS index to use for the frame about to be transmitted."""
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        """Digest the outcome of the frame transmitted at ``now_s``."""
+
+    def update_hint(self, estimate: MobilityEstimate) -> None:
+        """Receive a mobility hint.  Default: hints are ignored."""
+
+    def reset(self) -> None:
+        """Return to the initial state (e.g. after a roam)."""
+
+
+class LadderMixin:
+    """Shared helpers for schemes that walk an ordered rate ladder."""
+
+    def __init__(self, ladder) -> None:
+        if len(ladder) < 2:
+            raise ValueError("rate ladder needs at least two rates")
+        self._ladder = tuple(ladder)
+        self._position = len(self._ladder) - 1
+
+    @property
+    def ladder(self):
+        return self._ladder
+
+    @property
+    def current_mcs(self) -> int:
+        return self._ladder[self._position]
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def step_down(self) -> None:
+        self._position = max(0, self._position - 1)
+
+    def step_up(self) -> None:
+        self._position = min(len(self._ladder) - 1, self._position + 1)
+
+    def set_position(self, position: int) -> None:
+        self._position = int(min(max(position, 0), len(self._ladder) - 1))

@@ -1,0 +1,73 @@
+"""ESNR (Halperin et al., SIGCOMM 2010) — CSI-based rate prediction.
+
+ESNR computes an *effective SNR* from the client's CSI feedback and selects
+the best rate directly — a single observation pins the optimal rate, which
+is why it outperforms step-walking schemes (paper Fig. 9(b)).  Its costs,
+per the paper: it needs CSI feedback from the client and careful per-client
+calibration of the ESNR-to-rate mapping.
+
+The simulator supplies ``PhyFeedback.esnr_db`` computed from the most
+recent CSI report (so it carries the feedback staleness); the scheme adds
+calibration error — a persistent per-client bias, re-drawn at reset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.phy.error import ErrorModel
+from repro.phy.mcs import atheros_usable_mcs
+from repro.rate.base import PhyFeedback, RateAdapter
+from repro.util.rng import SeedLike, ensure_rng
+
+
+class ESNRRate(RateAdapter):
+    """Pick the throughput-optimal rate for the reported effective SNR."""
+
+    name = "esnr"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = None,
+        error_model: ErrorModel = ErrorModel(),
+        calibration_bias_std_db: float = 0.75,
+        bandwidth_hz: float = 40e6,
+        seed: SeedLike = None,
+    ) -> None:
+        self._ladder = tuple(ladder or atheros_usable_mcs())
+        self.error_model = error_model
+        self.calibration_bias_std_db = calibration_bias_std_db
+        self.bandwidth_hz = bandwidth_hz
+        self._rng = ensure_rng(seed)
+        self._bias_db = float(self._rng.normal(0.0, calibration_bias_std_db))
+        self._current = self._ladder[-1]
+
+    def select(self, now_s: float) -> int:
+        del now_s
+        return self._current
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        del now_s
+        if feedback is None or feedback.esnr_db is None:
+            if not result.block_ack_received:
+                # Safety net when feedback stalls: fall to a robust rate.
+                pos = self._ladder.index(self._current)
+                self._current = self._ladder[max(0, pos - 1)]
+            return
+        esnr = feedback.esnr_db + self._bias_db
+        self._current = self.error_model.best_mcs(
+            esnr,
+            mimo_condition_db=feedback.mimo_condition_db,
+            bandwidth_hz=self.bandwidth_hz,
+            candidates=self._ladder,
+        )
+
+    def reset(self) -> None:
+        self._bias_db = float(self._rng.normal(0.0, self.calibration_bias_std_db))
+        self._current = self._ladder[-1]

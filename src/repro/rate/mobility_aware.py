@@ -1,0 +1,71 @@
+"""Mobility-aware Atheros RA — the paper's Section 4.2 optimisations.
+
+Wraps :class:`AtherosRateAdaptation` and retunes it from mobility hints:
+
+1. **Retries before stepping down.**  Unless the client is moving away from
+   the AP, a lost Block ACK is more likely a transient (fast fade,
+   interference) than a deteriorating channel: retry at the current rate
+   once or twice before reducing.  Moving away -> react immediately.
+2. **PER history length.**  Static clients keep long history (small
+   alpha); mobile clients weight only recent frames (large alpha).
+3. **Probe interval.**  Moving towards the AP -> the optimal rate rises
+   quickly, probe aggressively.  Moving away -> probing mostly loses
+   packets, probe rarely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import PolicyTable, default_policy_table
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.rate.atheros import AtherosRateAdaptation
+from repro.rate.base import PhyFeedback, RateAdapter
+
+
+class MobilityAwareAtherosRA(RateAdapter):
+    """Atheros RA driven by the Table-2 policy."""
+
+    name = "motion-aware-atheros"
+
+    def __init__(
+        self,
+        policy_table: Optional[PolicyTable] = None,
+        ladder: Sequence[int] = None,
+    ) -> None:
+        self._inner = AtherosRateAdaptation(ladder=ladder)
+        self._policy_table = policy_table or default_policy_table()
+        self._estimate: Optional[MobilityEstimate] = None
+
+    @property
+    def inner(self) -> AtherosRateAdaptation:
+        """The wrapped frame-based engine (exposed for tests)."""
+        return self._inner
+
+    @property
+    def current_estimate(self) -> Optional[MobilityEstimate]:
+        return self._estimate
+
+    def update_hint(self, estimate: MobilityEstimate) -> None:
+        """Apply the Table-2 column for the newly classified mobility state."""
+        self._estimate = estimate
+        policy = self._policy_table.lookup(estimate.mode, estimate.heading)
+        self._inner.alpha = policy.per_smoothing_factor
+        self._inner.probe_interval_s = policy.probe_interval_ms / 1000.0
+        self._inner.retries_before_down = policy.rate_retries
+
+    def select(self, now_s: float) -> int:
+        return self._inner.select(now_s)
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        self._inner.observe(now_s, result, feedback)
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self._estimate = None

@@ -1,0 +1,127 @@
+"""RapidSample and the sensor-hint scheme of Ravindranath et al. [1].
+
+RapidSample is designed for mobile channels: it trusts only very recent
+history.  On a failure it immediately steps down; after a short success
+streak it tries the next higher rate.  The full NSDI'11 scheme uses an
+accelerometer hint to switch between SampleRate (static) and RapidSample
+(mobile) — implemented here as :class:`HintAwareRateControl`.
+
+Crucially (paper Section 4.3), the hint is *binary*: it cannot tell micro
+from macro mobility, nor moving-towards from moving-away, so it cannot
+apply the finer Table-2 optimisations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hints import MobilityEstimate
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.phy.mcs import atheros_usable_mcs
+from repro.rate.base import LadderMixin, PhyFeedback, RateAdapter
+from repro.rate.samplerate import SampleRate
+
+
+class RapidSample(LadderMixin, RateAdapter):
+    """Fast ladder walker for mobile channels."""
+
+    name = "rapidsample"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = None,
+        up_after_successes: int = 2,
+        min_up_interval_s: float = 0.010,
+        failure_memory_s: float = 0.300,
+    ) -> None:
+        LadderMixin.__init__(self, ladder or atheros_usable_mcs())
+        if up_after_successes < 1:
+            raise ValueError("need at least one success before stepping up")
+        self.up_after_successes = up_after_successes
+        self.min_up_interval_s = min_up_interval_s
+        #: RapidSample avoids rates that failed recently: after a failure a
+        #: rate is quarantined for this long before being retried.
+        self.failure_memory_s = failure_memory_s
+        self._streak = 0
+        self._last_up_s = -1e9
+        self._last_failure_s = {mcs: -1e9 for mcs in self.ladder}
+
+    def select(self, now_s: float) -> int:
+        del now_s
+        return self.current_mcs
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        del feedback
+        # "Failure" for RapidSample: any meaningful loss in the frame — the
+        # scheme was designed around per-packet failures and reacts sharply.
+        if not result.block_ack_received or result.instantaneous_per > 0.35:
+            self._last_failure_s[result.mcs_index] = now_s
+            self.step_down()
+            self._streak = 0
+            return
+        self._streak += 1
+        if (
+            self._streak >= self.up_after_successes
+            and now_s - self._last_up_s >= self.min_up_interval_s
+            and self.position + 1 < len(self.ladder)
+        ):
+            next_mcs = self.ladder[self.position + 1]
+            # Do not retry a rate that failed within the memory window.
+            if now_s - self._last_failure_s[next_mcs] >= self.failure_memory_s:
+                self.step_up()
+                self._streak = 0
+                self._last_up_s = now_s
+
+    def reset(self) -> None:
+        self.set_position(len(self.ladder) - 1)
+        self._streak = 0
+        self._last_up_s = -1e9
+        self._last_failure_s = {mcs: -1e9 for mcs in self.ladder}
+
+
+class HintAwareRateControl(RateAdapter):
+    """The NSDI'11 sensor-hints scheme: SampleRate static, RapidSample mobile."""
+
+    name = "sensor-hints"
+
+    def __init__(
+        self,
+        static_scheme: Optional[SampleRate] = None,
+        mobile_scheme: Optional[RapidSample] = None,
+    ) -> None:
+        self._static = static_scheme or SampleRate(seed=0)
+        self._mobile = mobile_scheme or RapidSample()
+        self._mobile_hint = False
+
+    @property
+    def active(self) -> RateAdapter:
+        return self._mobile if self._mobile_hint else self._static
+
+    def update_hint(self, estimate: MobilityEstimate) -> None:
+        """Accelerometer-style binary hint: device moving or not."""
+        self._mobile_hint = estimate.is_device_mobility
+
+    def set_mobile(self, mobile: bool) -> None:
+        """Directly drive the binary hint (ground-truth accelerometer)."""
+        self._mobile_hint = bool(mobile)
+
+    def select(self, now_s: float) -> int:
+        return self.active.select(now_s)
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        self.active.observe(now_s, result, feedback)
+
+    def reset(self) -> None:
+        self._static.reset()
+        self._mobile.reset()
+        self._mobile_hint = False

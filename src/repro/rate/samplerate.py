@@ -1,0 +1,115 @@
+"""SampleRate (Bicket, 2005) — the classic frame-based baseline.
+
+SampleRate picks the rate that minimises expected per-packet transmission
+time and spends ~10% of frames sampling other rates that could plausibly do
+better.  It shines in static channels (long statistics windows) and reacts
+slowly under mobility — which is exactly why the sensor-hints work [1]
+pairs it with RapidSample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.phy.mcs import atheros_usable_mcs, mcs_by_index
+from repro.rate.base import PhyFeedback, RateAdapter
+from repro.util.rng import SeedLike, ensure_rng
+
+
+class _RateStats:
+    """Windowed success statistics for one rate."""
+
+    __slots__ = ("successes", "attempts", "last_update_s")
+
+    def __init__(self) -> None:
+        self.successes = 0.0
+        self.attempts = 0.0
+        self.last_update_s = 0.0
+
+    def decay(self, factor: float) -> None:
+        self.successes *= factor
+        self.attempts *= factor
+
+    def per(self) -> float:
+        if self.attempts < 0.5:
+            return 0.0  # optimistic prior: untried rates are worth sampling
+        return 1.0 - self.successes / self.attempts
+
+
+class SampleRate(RateAdapter):
+    """Minimise expected transmission time; sample alternatives occasionally."""
+
+    name = "samplerate"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = None,
+        sample_fraction: float = 0.10,
+        window_s: float = 10.0,
+        bandwidth_hz: float = 40e6,
+        seed: SeedLike = None,
+    ) -> None:
+        self._ladder = tuple(ladder or atheros_usable_mcs())
+        if not 0.0 < sample_fraction < 1.0:
+            raise ValueError("sample fraction must be in (0, 1)")
+        self.sample_fraction = sample_fraction
+        self.window_s = window_s
+        self.bandwidth_hz = bandwidth_hz
+        self._rng = ensure_rng(seed)
+        self._stats: Dict[int, _RateStats] = {m: _RateStats() for m in self._ladder}
+        self._current = self._ladder[-1]
+        self._sampling_mcs: Optional[int] = None
+        self._last_decay_s = 0.0
+
+    def _throughput_score(self, mcs_index: int) -> float:
+        per = self._stats[mcs_index].per()
+        if per >= 0.9:
+            return 0.0
+        return mcs_by_index(mcs_index).rate_mbps(self.bandwidth_hz) * (1.0 - per)
+
+    def select(self, now_s: float) -> int:
+        self._maybe_decay(now_s)
+        best = max(self._ladder, key=self._throughput_score)
+        self._current = best
+        if self._rng.random() < self.sample_fraction:
+            # Sample a rate adjacent to the best that might beat it.
+            pos = self._ladder.index(best)
+            candidates = []
+            if pos + 1 < len(self._ladder):
+                candidates.append(self._ladder[pos + 1])
+            if pos - 1 >= 0:
+                candidates.append(self._ladder[pos - 1])
+            if candidates:
+                self._sampling_mcs = candidates[int(self._rng.integers(len(candidates)))]
+                return self._sampling_mcs
+        self._sampling_mcs = None
+        return best
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        del feedback
+        stats = self._stats[result.mcs_index]
+        stats.attempts += result.n_mpdus
+        stats.successes += result.n_delivered
+        stats.last_update_s = now_s
+        self._sampling_mcs = None
+
+    def _maybe_decay(self, now_s: float) -> None:
+        """Age out statistics roughly once per second (EWMA over the window)."""
+        elapsed = now_s - self._last_decay_s
+        if elapsed >= 1.0:
+            factor = max(0.0, 1.0 - elapsed / self.window_s)
+            for stats in self._stats.values():
+                stats.decay(factor)
+            self._last_decay_s = now_s
+
+    def reset(self) -> None:
+        self._stats = {m: _RateStats() for m in self._ladder}
+        self._current = self._ladder[-1]
+        self._sampling_mcs = None
+        self._last_decay_s = 0.0

@@ -1,0 +1,165 @@
+"""Frame-level link simulator for rate-control evaluation.
+
+Drives a :class:`RateAdapter` over a :class:`ChannelTrace`: a saturated
+downlink sender transmits back-to-back A-MPDUs, each scheme observing only
+what it physically could (frame outcomes, SoftPHY SINR, CSI-feedback ESNR,
+mobility hints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.model import ChannelTrace
+from repro.channel.perturbations import LinkPerturbations, PerturbationConfig, trace_seed
+from repro.core.hints import MobilityEstimate
+from repro.mac.aggregation import FrameTransmitter
+from repro.phy.error import sinr_with_stale_estimate
+from repro.rate.base import PhyFeedback, RateAdapter
+from repro.util.special import jakes_correlation
+
+
+@dataclass
+class RateRunResult:
+    """Outcome of one simulated link run."""
+
+    throughput_mbps: float
+    duration_s: float
+    n_frames: int
+    delivered_bytes: int
+    frame_times: List[float] = field(default_factory=list)
+    frame_mcs: List[int] = field(default_factory=list)
+    frame_delivered: List[int] = field(default_factory=list)
+
+    @property
+    def mean_mcs(self) -> float:
+        if not self.frame_mcs:
+            return 0.0
+        return float(np.mean(self.frame_mcs))
+
+
+def simulate_rate_control(
+    adapter: RateAdapter,
+    trace: ChannelTrace,
+    transmitter: Optional[FrameTransmitter] = None,
+    aggregation_time_fn: Callable[[float], float] = lambda t: 0.004,
+    hints: Sequence[MobilityEstimate] = (),
+    esnr_feedback_period_s: float = 0.100,
+    softphy_available: bool = True,
+    record_timeline: bool = False,
+    perturbations: Optional[PerturbationConfig] = PerturbationConfig(),
+    perturbation_seed: Optional[int] = None,
+) -> RateRunResult:
+    """Run ``adapter`` over the whole ``trace`` and measure goodput.
+
+    ``hints`` is a time-ordered list of mobility estimates (produced by the
+    classifier or by ground truth); each is delivered to the adapter when
+    simulation time passes its timestamp.  ``esnr_feedback_period_s``
+    controls how stale the CSI-based ESNR observable is.
+
+    ``perturbations`` configures the frame-level fading jitter and Poisson
+    interference bursts (see :mod:`repro.channel.perturbations`).  Bursts
+    are unrelated to the channel, which is precisely why reducing the rate
+    in response to them — as stock Atheros does on a lost Block ACK — is
+    wasteful, and why the paper retries at the current rate instead.  The
+    perturbation seed derives from the trace, so schemes compared on the
+    same trace experience identical fading and interference.  Pass ``None``
+    to disable (clean-channel unit tests).
+    """
+    if transmitter is None:
+        transmitter = FrameTransmitter(seed=0)
+    times = trace.times
+    start = float(times[0])
+    end = float(times[-1])
+    now = start
+    hint_index = 0
+    delivered_bytes = 0
+    n_frames = 0
+    last_esnr_update = start - esnr_feedback_period_s
+    esnr_db = float(trace.snr_db[0])
+    if perturbation_seed is None:
+        perturbation_seed = trace_seed(trace.snr_db)
+    perturb = (
+        LinkPerturbations(start, end + 1e-6, perturbations, seed=perturbation_seed)
+        if perturbations is not None
+        else None
+    )
+
+    result_times: List[float] = []
+    result_mcs: List[int] = []
+    result_delivered: List[int] = []
+
+    while now < end:
+        while hint_index < len(hints) and hints[hint_index].time_s <= now:
+            adapter.update_hint(hints[hint_index])
+            hint_index += 1
+
+        index = int(np.searchsorted(times, now, side="right") - 1)
+        index = min(max(index, 0), len(times) - 1)
+        doppler = float(trace.doppler_hz[index])
+        condition = float(trace.mimo_condition_db[index])
+        if perturb is not None:
+            fade_db, in_burst = perturb.advance(now, doppler)
+            penalty = perturb.config.interference_penalty_db
+        else:
+            fade_db, in_burst, penalty = 0.0, False, 0.0
+        channel_snr = float(trace.per_snr_db()[index]) + fade_db
+        # Interference degrades the frame on the air, but not the *channel*
+        # observables: CSI feedback (ESNR) measures the channel, and
+        # SoftRate's BER heuristic explicitly discriminates interference
+        # from channel errors, so neither reacts to bursts.
+        snr = channel_snr - penalty if in_burst else channel_snr
+
+        if now - last_esnr_update >= esnr_feedback_period_s:
+            esnr_db = channel_snr
+            last_esnr_update = now
+
+        mcs = adapter.select(now)
+        aggregation_time = aggregation_time_fn(now)
+        frame = transmitter.transmit(
+            mcs,
+            snr,
+            doppler,
+            aggregation_time,
+            mimo_condition_db=condition,
+        )
+        # SoftPHY observes the realized frame quality — the SINR at
+        # mid-frame staleness of the channel (bursts excluded, see above).
+        frame_sinr = float(
+            sinr_with_stale_estimate(
+                channel_snr, jakes_correlation(doppler, aggregation_time / 2.0)
+            )
+        )
+        feedback = PhyFeedback(
+            soft_snr_db=frame_sinr if softphy_available else None,
+            esnr_db=float(
+                sinr_with_stale_estimate(
+                    esnr_db, jakes_correlation(doppler, aggregation_time / 2.0)
+                )
+            ),
+            mimo_condition_db=condition,
+        )
+        adapter.observe(now, frame, feedback)
+
+        delivered_bytes += frame.delivered_bytes
+        n_frames += 1
+        if record_timeline:
+            result_times.append(now)
+            result_mcs.append(mcs)
+            result_delivered.append(frame.n_delivered)
+        now += frame.airtime_s
+
+    duration = now - start
+    throughput = delivered_bytes * 8 / duration / 1e6 if duration > 0 else 0.0
+    return RateRunResult(
+        throughput_mbps=throughput,
+        duration_s=duration,
+        n_frames=n_frames,
+        delivered_bytes=delivered_bytes,
+        frame_times=result_times,
+        frame_mcs=result_mcs,
+        frame_delivered=result_delivered,
+    )

@@ -1,0 +1,84 @@
+"""SoftRate (Vutukuru et al., SIGCOMM 2009) — SoftPHY-hint baseline.
+
+SoftRate computes the per-frame BER from the decoder's soft outputs (even
+for frames that fail), predicts the PER of *adjacent* rates, and moves one
+rate up or down per frame accordingly.  It reacts within a frame time but
+— as the AccuRate observation quoted in the paper notes — it "can typically
+only indicate whether the rate should be increased, decreased, or
+unchanged", so it walks to a distant optimum one step at a time.
+
+The simulator supplies the per-frame SINR the SoftPHY layer would have
+measured (``PhyFeedback.soft_snr_db``); SoftRate adds its own estimation
+noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.phy.error import ErrorModel
+from repro.phy.mcs import atheros_usable_mcs, mcs_by_index
+from repro.rate.base import LadderMixin, PhyFeedback, RateAdapter
+from repro.util.rng import SeedLike, ensure_rng
+
+
+class SoftRate(LadderMixin, RateAdapter):
+    """One-step-per-frame walker driven by SoftPHY BER estimates."""
+
+    name = "softrate"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = None,
+        error_model: ErrorModel = ErrorModel(),
+        estimate_noise_db: float = 0.8,
+        target_per: float = 0.10,
+        bandwidth_hz: float = 40e6,
+        seed: SeedLike = None,
+    ) -> None:
+        LadderMixin.__init__(self, ladder or atheros_usable_mcs())
+        self.error_model = error_model
+        self.estimate_noise_db = estimate_noise_db
+        self.target_per = target_per
+        self.bandwidth_hz = bandwidth_hz
+        self._rng = ensure_rng(seed)
+
+    def select(self, now_s: float) -> int:
+        del now_s
+        return self.current_mcs
+
+    def observe(
+        self,
+        now_s: float,
+        result: AggregatedFrameResult,
+        feedback: Optional[PhyFeedback] = None,
+    ) -> None:
+        del now_s
+        if feedback is None or feedback.soft_snr_db is None:
+            # Without SoftPHY output fall back to outcome-driven stepping.
+            if not result.block_ack_received:
+                self.step_down()
+            return
+        snr = feedback.soft_snr_db + float(self._rng.normal(0.0, self.estimate_noise_db))
+        condition = feedback.mimo_condition_db
+
+        def goodput(position: int) -> float:
+            mcs = mcs_by_index(self.ladder[position])
+            per = self.error_model.per(mcs, snr, mimo_condition_db=condition)
+            return mcs.rate_mbps(self.bandwidth_hz) * (1.0 - per)
+
+        # One step per frame, toward whichever neighbour the BER-predicted
+        # goodput favours (SoftRate indicates direction, not magnitude).
+        # Ties go upward: the Atheros ladder contains equal-rate pairs
+        # (MCS 3/9, MCS 4/10) that a strictly-greater rule cannot cross.
+        here = goodput(self.position)
+        if self.position + 1 < len(self.ladder) and goodput(self.position + 1) >= here * (
+            1.0 - 1e-9
+        ):
+            self.step_up()
+        elif self.position > 0 and goodput(self.position - 1) > here:
+            self.step_down()
+
+    def reset(self) -> None:
+        self.set_position(len(self.ladder) - 1)

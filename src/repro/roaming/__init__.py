@@ -1,0 +1,25 @@
+"""Client roaming: the default scheme, sensor-hint roaming, and the
+paper's controller-based mobility-aware roaming (Section 3)."""
+
+from repro.roaming.base import HandoffEvent, RoamingContext, RoamingScheme
+from repro.roaming.schemes import (
+    ControllerRoaming,
+    DefaultClientRoaming,
+    SensorHintRoaming,
+    StickToFirstAp,
+    StrongestApOracle,
+)
+from repro.roaming.simulator import RoamingRunResult, simulate_roaming
+
+__all__ = [
+    "ControllerRoaming",
+    "DefaultClientRoaming",
+    "HandoffEvent",
+    "RoamingContext",
+    "RoamingRunResult",
+    "RoamingScheme",
+    "SensorHintRoaming",
+    "StickToFirstAp",
+    "StrongestApOracle",
+    "simulate_roaming",
+]

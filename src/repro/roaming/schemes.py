@@ -1,0 +1,170 @@
+"""Roaming schemes: baselines and the paper's controller-based protocol."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mobility.modes import Heading
+from repro.roaming.base import RoamingContext, RoamingDecision, RoamingScheme
+
+
+class StickToFirstAp(RoamingScheme):
+    """Never roams — the 'sticking to the current AP' arm of Fig. 7(a)."""
+
+    name = "stick"
+
+    def decide(self, ctx: RoamingContext) -> RoamingDecision:
+        del ctx
+        return RoamingDecision()
+
+
+class StrongestApOracle(RoamingScheme):
+    """Roams to the strongest AP instantly and for free.
+
+    Not a deployable scheme: it is the 'dynamically switching to the
+    strongest AP' upper bound used to compute the Fig. 7(a) gains.
+    """
+
+    name = "strongest-oracle"
+
+    def decide(self, ctx: RoamingContext) -> RoamingDecision:
+        report = ctx.neighbor_report()
+        best = max(report, key=lambda ap: report[ap].rssi_dbm)
+        if best != ctx.current_ap and report[best].rssi_dbm > ctx.current_rssi_dbm():
+            return RoamingDecision(target_ap=best, forced=True)
+        return RoamingDecision()
+
+
+class DefaultClientRoaming(RoamingScheme):
+    """Standard client behaviour: scan only when the serving AP gets weak.
+
+    "Most wireless clients associate with the AP with the strongest RSSI
+    value.  When the RSSI falls below a predefined threshold, the client
+    triggers a handoff, where it scans all the channels and associates with
+    the AP with the strongest RSSI." (Section 3)
+    """
+
+    name = "default"
+
+    def __init__(
+        self,
+        rssi_threshold_dbm: float = -72.0,
+        scan_holdoff_s: float = 3.0,
+        switch_margin_db: float = 2.0,
+    ) -> None:
+        self.rssi_threshold_dbm = rssi_threshold_dbm
+        self.scan_holdoff_s = scan_holdoff_s
+        self.switch_margin_db = switch_margin_db
+        self._last_scan_s = -1e9
+
+    def decide(self, ctx: RoamingContext) -> RoamingDecision:
+        rssi = ctx.current_rssi_dbm()
+        if rssi >= self.rssi_threshold_dbm:
+            return RoamingDecision()
+        if ctx.now_s - self._last_scan_s < self.scan_holdoff_s:
+            return RoamingDecision()
+        self._last_scan_s = ctx.now_s
+        report = ctx.scan()
+        best = max(report, key=report.get)
+        if best != ctx.current_ap and report[best] > rssi + self.switch_margin_db:
+            return RoamingDecision(target_ap=best)
+        return RoamingDecision()
+
+    def reset(self) -> None:
+        self._last_scan_s = -1e9
+
+
+class SensorHintRoaming(DefaultClientRoaming):
+    """The client-based scheme of [1]: scan periodically while moving.
+
+    On top of default behaviour, an accelerometer hint triggers periodic
+    scans whenever the device is mobile; the client switches if a clearly
+    stronger AP appears.  The cost is the scan outages themselves —
+    "frequent scanning is time consuming ... and prevents the client from
+    transmitting or receiving data" (Section 3).
+    """
+
+    name = "sensor-hint"
+
+    def __init__(
+        self,
+        rssi_threshold_dbm: float = -72.0,
+        mobile_scan_period_s: float = 5.0,
+        switch_margin_db: float = 5.0,
+    ) -> None:
+        super().__init__(rssi_threshold_dbm=rssi_threshold_dbm)
+        self.mobile_scan_period_s = mobile_scan_period_s
+        self.mobile_switch_margin_db = switch_margin_db
+        self._last_mobile_scan_s = -1e9
+
+    def decide(self, ctx: RoamingContext) -> RoamingDecision:
+        if (
+            ctx.accelerometer_moving()
+            and ctx.now_s - self._last_mobile_scan_s >= self.mobile_scan_period_s
+        ):
+            self._last_mobile_scan_s = ctx.now_s
+            report = ctx.scan()
+            best = max(report, key=report.get)
+            if (
+                best != ctx.current_ap
+                and report[best] > ctx.current_rssi_dbm() + self.mobile_switch_margin_db
+            ):
+                return RoamingDecision(target_ap=best)
+            return RoamingDecision()
+        return super().decide(ctx)
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_mobile_scan_s = -1e9
+
+
+class ControllerRoaming(RoamingScheme):
+    """The paper's mobility-aware controller-based roaming (Section 3.1).
+
+    The serving AP classifies the client's mobility; only when the client
+    is under macro mobility *moving away* does the controller look for a
+    candidate AP that (a) the client is moving towards and (b) has similar
+    or better signal strength.  If one exists, the client is disassociated
+    and steered to it.  Static/environmental/micro clients are never
+    touched, and neither are clients approaching their serving AP.
+    """
+
+    name = "controller"
+
+    def __init__(
+        self,
+        candidate_margin_db: float = 0.0,
+        roam_cooldown_s: float = 5.0,
+        fallback: Optional[DefaultClientRoaming] = None,
+    ) -> None:
+        self.candidate_margin_db = candidate_margin_db
+        self.roam_cooldown_s = roam_cooldown_s
+        #: Clients keep their stock firmware: the default scheme still runs.
+        self.fallback = fallback or DefaultClientRoaming()
+        self._last_roam_s = -1e9
+
+    def decide(self, ctx: RoamingContext) -> RoamingDecision:
+        estimate = ctx.mobility_estimate()
+        if (
+            estimate is not None
+            and estimate.moving_away
+            and ctx.now_s - self._last_roam_s >= self.roam_cooldown_s
+        ):
+            report = ctx.neighbor_report()
+            rssi_here = ctx.current_rssi_dbm()
+            candidates = {
+                ap: obs
+                for ap, obs in report.items()
+                if ap != ctx.current_ap
+                and obs.heading == Heading.TOWARDS
+                and obs.rssi_dbm >= rssi_here + self.candidate_margin_db
+            }
+            if candidates:
+                best = max(candidates, key=lambda ap: candidates[ap].rssi_dbm)
+                self._last_roam_s = ctx.now_s
+                return RoamingDecision(target_ap=best, forced=True)
+        return self.fallback.decide(ctx)
+
+    def reset(self) -> None:
+        self._last_roam_s = -1e9
+        self.fallback.reset()

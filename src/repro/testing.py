@@ -1,0 +1,43 @@
+"""Test utilities: hand-built channel traces for protocol unit tests.
+
+Public so downstream users can unit-test their own rate controllers and
+schedulers against synthetic link conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.channel.model import ChannelTrace
+
+
+def synthetic_trace(
+    snr_db: Union[float, Callable[[float], float]] = 25.0,
+    duration_s: float = 10.0,
+    dt: float = 0.05,
+    doppler_hz: float = 0.15,
+    condition_db: float = 6.0,
+    distance_m: float = 10.0,
+) -> ChannelTrace:
+    """A ChannelTrace with prescribed SNR — flat or a function of time.
+
+    Bypasses the geometric channel model entirely: use it to put a rate
+    controller or feedback scheduler in a precisely known regime.
+    """
+    times = np.arange(0.0, duration_s, dt)
+    n = len(times)
+    if callable(snr_db):
+        snr = np.array([float(snr_db(t)) for t in times])
+    else:
+        snr = np.full(n, float(snr_db))
+    return ChannelTrace(
+        times=times,
+        distances_m=np.full(n, float(distance_m)),
+        rssi_dbm=snr - 91.0,
+        snr_db=snr,
+        fading_db=np.zeros(n),
+        doppler_hz=np.full(n, float(doppler_hz)),
+        mimo_condition_db=np.full(n, float(condition_db)),
+    )

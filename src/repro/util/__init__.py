@@ -1,0 +1,45 @@
+"""Shared utilities: RNG handling, streaming filters, statistics, units, geometry.
+
+These helpers are deliberately dependency-light (numpy only) and are used by
+every other subpackage.  Nothing here is specific to the paper; it is the
+plumbing a production networking library needs.
+"""
+
+from repro.util.filters import (
+    ExponentialMovingAverage,
+    MedianFilter,
+    MovingWindow,
+    SlidingStatistics,
+)
+from repro.util.geometry import Point, distance, heading_between, project_along
+from repro.util.rng import child_rng, ensure_rng, spawn_rngs
+from repro.util.stats import EmpiricalCDF, fraction, percentile_summary
+from repro.util.units import (
+    SPEED_OF_LIGHT,
+    db_to_linear,
+    dbm_to_milliwatts,
+    linear_to_db,
+    milliwatts_to_dbm,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "ExponentialMovingAverage",
+    "MedianFilter",
+    "MovingWindow",
+    "Point",
+    "SPEED_OF_LIGHT",
+    "SlidingStatistics",
+    "child_rng",
+    "db_to_linear",
+    "dbm_to_milliwatts",
+    "distance",
+    "ensure_rng",
+    "fraction",
+    "heading_between",
+    "linear_to_db",
+    "milliwatts_to_dbm",
+    "percentile_summary",
+    "project_along",
+    "spawn_rngs",
+]

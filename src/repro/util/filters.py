@@ -1,0 +1,197 @@
+"""Streaming filters used throughout the classifier and the protocols.
+
+The paper's pipeline is built from three primitives:
+
+* an exponentially weighted moving average (the Atheros PER filter, Eq. 2),
+* a per-second median filter over 20 ms ToF samples (Section 2.5), and
+* fixed-size moving windows (CSI-similarity smoothing, ToF trend windows).
+
+All filters here are *online*: they accept one sample at a time, never grow
+unboundedly, and can be reset.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+import numpy as np
+
+
+class ExponentialMovingAverage:
+    """EWMA ``avg = alpha * sample + (1 - alpha) * avg`` (paper Eq. 2).
+
+    ``alpha`` is the *smoothing factor*: larger alpha forgets history faster.
+    The Atheros default is 1/8; the mobility-aware policy swaps alpha per
+    mobility mode (Table 2).
+    """
+
+    def __init__(self, alpha: float, initial: Optional[float] = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = initial
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average, or ``None`` before the first update."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new average."""
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite, got {sample}")
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * float(sample) + (1.0 - self.alpha) * self._value
+        return self._value
+
+    def reset(self, initial: Optional[float] = None) -> None:
+        """Discard all history (optionally seeding a new initial value)."""
+        self._value = initial
+
+    def set_alpha(self, alpha: float) -> None:
+        """Change the smoothing factor without discarding the current value."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+
+
+class MovingWindow:
+    """Fixed-capacity FIFO window of float samples."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[float] = deque(maxlen=capacity)
+
+    def push(self, sample: float) -> None:
+        self._items.append(float(sample))
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.push(sample)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) == self.capacity
+
+    def values(self) -> List[float]:
+        return list(self._items)
+
+    def mean(self) -> float:
+        if not self._items:
+            raise ValueError("window is empty")
+        return float(np.mean(self._items))
+
+    def std(self) -> float:
+        if not self._items:
+            raise ValueError("window is empty")
+        return float(np.std(self._items))
+
+    def median(self) -> float:
+        if not self._items:
+            raise ValueError("window is empty")
+        return float(np.median(self._items))
+
+    def is_strictly_increasing(self) -> bool:
+        """True iff every consecutive pair strictly increases (needs >= 2)."""
+        items = self._items
+        if len(items) < 2:
+            return False
+        return all(b > a for a, b in zip(items, list(items)[1:]))
+
+    def is_strictly_decreasing(self) -> bool:
+        """True iff every consecutive pair strictly decreases (needs >= 2)."""
+        items = self._items
+        if len(items) < 2:
+            return False
+        return all(b < a for a, b in zip(items, list(items)[1:]))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+class MedianFilter:
+    """Aggregates bursts of noisy samples into one median per period.
+
+    The paper samples ToF every 20 ms and "aggregates them every second using
+    a median filter" (Section 2.5).  ``batch_size`` is therefore
+    ``period / sample_interval`` (50 by default).  :meth:`push` returns the
+    batch median when a batch completes, else ``None``.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._batch: List[float] = []
+
+    def push(self, sample: float) -> Optional[float]:
+        """Add one sample; return the median when the batch fills."""
+        self._batch.append(float(sample))
+        if len(self._batch) >= self.batch_size:
+            median = float(np.median(self._batch))
+            self._batch.clear()
+            return median
+        return None
+
+    def flush(self) -> Optional[float]:
+        """Return the median of a partial batch (if any) and reset."""
+        if not self._batch:
+            return None
+        median = float(np.median(self._batch))
+        self._batch.clear()
+        return median
+
+    @property
+    def pending(self) -> int:
+        """Number of samples accumulated toward the next median."""
+        return len(self._batch)
+
+    def reset(self) -> None:
+        self._batch.clear()
+
+
+class SlidingStatistics:
+    """Windowed mean/std over the last ``capacity`` samples.
+
+    Used for the RSSI standard-deviation study (Fig. 1) and for smoothing
+    CSI-similarity values before thresholding (Fig. 5 keeps "a moving
+    average of the similarity between consecutive CSI values").
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._window = MovingWindow(capacity)
+
+    def push(self, sample: float) -> None:
+        self._window.push(sample)
+
+    @property
+    def ready(self) -> bool:
+        return len(self._window) > 0
+
+    @property
+    def full(self) -> bool:
+        return self._window.full
+
+    def mean(self) -> float:
+        return self._window.mean()
+
+    def std(self) -> float:
+        return self._window.std()
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    def __len__(self) -> int:
+        return len(self._window)

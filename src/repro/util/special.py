@@ -1,0 +1,67 @@
+"""Special functions needed by the channel model (numpy-only).
+
+Only :func:`bessel_j0` lives here: the Jakes/Clarke temporal autocorrelation
+of a Rayleigh-faded channel is ``J0(2*pi*fD*dt)``, which the MAC simulator
+uses to model channel staleness within an aggregated frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Abramowitz & Stegun 9.4.1 / 9.4.3 polynomial approximations (|err| < 1e-7).
+_SMALL = (
+    1.0,
+    -2.2499997,
+    1.2656208,
+    -0.3163866,
+    0.0444479,
+    -0.0039444,
+    0.0002100,
+)
+_F0 = (0.79788456, -0.00000077, -0.00552740, -0.00009512, 0.00137237, -0.00072805, 0.00014476)
+_THETA0 = (-0.78539816, -0.04166397, -0.00003954, 0.00262573, -0.00054125, -0.00029333, 0.00013558)
+
+
+def bessel_j0(x):
+    """Bessel function of the first kind, order zero.  Vectorised."""
+    x = np.abs(np.asarray(x, dtype=float))
+    scalar = x.ndim == 0
+    x = np.atleast_1d(x)
+    result = np.empty_like(x)
+
+    small = x <= 3.0
+    if np.any(small):
+        t = (x[small] / 3.0) ** 2
+        acc = np.zeros_like(t)
+        for k, coeff in enumerate(_SMALL):
+            acc += coeff * t**k
+        result[small] = acc
+
+    large = ~small
+    if np.any(large):
+        xl = x[large]
+        t = 3.0 / xl
+        f0 = np.zeros_like(t)
+        theta0 = np.zeros_like(t)
+        for k, coeff in enumerate(_F0):
+            f0 += coeff * t**k
+        for k, coeff in enumerate(_THETA0):
+            theta0 += coeff * t**k
+        result[large] = f0 / np.sqrt(xl) * np.cos(xl + theta0)
+
+    if scalar:
+        return float(result[0])
+    return result
+
+
+def jakes_correlation(doppler_hz, delta_t_s):
+    """Temporal autocorrelation of a Jakes-spectrum fading channel.
+
+    ``rho = J0(2*pi*fD*dt)``, clipped to [0, 1]: the MAC error model uses it
+    as "how much of the preamble channel estimate survives ``dt`` into the
+    frame", and a negative correlation is no better than none for that
+    purpose.
+    """
+    rho = bessel_j0(2.0 * np.pi * np.asarray(doppler_hz, dtype=float) * np.asarray(delta_t_s, dtype=float))
+    return np.clip(rho, 0.0, 1.0)

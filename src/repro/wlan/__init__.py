@@ -1,0 +1,27 @@
+"""WLAN-level substrate: floorplans, multi-AP channels, traffic models,
+and the integrated mobility-aware stack (Section 7)."""
+
+from repro.wlan.floorplan import Floorplan, default_office_floorplan
+from repro.wlan.multilink import MultiApChannel, MultiApTraces
+from repro.wlan.stack import (
+    StackComponents,
+    StackRunResult,
+    default_stack,
+    mobility_aware_stack,
+    simulate_stack,
+)
+from repro.wlan.traffic import TcpModel, udp_throughput_mbps
+
+__all__ = [
+    "Floorplan",
+    "MultiApChannel",
+    "MultiApTraces",
+    "StackComponents",
+    "StackRunResult",
+    "TcpModel",
+    "default_office_floorplan",
+    "default_stack",
+    "mobility_aware_stack",
+    "simulate_stack",
+    "udp_throughput_mbps",
+]

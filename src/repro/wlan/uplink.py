@@ -1,0 +1,90 @@
+"""Uplink mobility-awareness (paper Section 9, "Uplink traffic").
+
+The paper focuses on downlink but notes that "bit-rate adaptation and
+frame aggregation can also be implemented on the client side as well to
+benefit uplink traffic".  The classification still happens at the AP (it
+owns the CSI/ToF observables); the client merely needs the *hints*, which
+the AP can piggyback on its Block ACKs.
+
+This module implements that loop: the AP's mobility estimates are
+delivered to the client's rate controller and aggregation policy after a
+configurable feedback delay, and the client's saturated uplink is then
+simulated with the same frame-level machinery as the downlink
+(channel reciprocity makes the trace identical in this model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.aggregation.policy import AggregationPolicy, FixedAggregation
+from repro.channel.model import ChannelTrace
+from repro.core.hints import MobilityEstimate
+from repro.mac.aggregation import FrameTransmitter
+from repro.rate.base import RateAdapter
+from repro.rate.simulator import RateRunResult, simulate_rate_control
+from repro.util.rng import SeedLike
+
+
+def delay_hints(
+    hints: Sequence[MobilityEstimate], delay_s: float
+) -> List[MobilityEstimate]:
+    """Shift hint delivery times by the AP-to-client feedback delay.
+
+    The AP piggybacks its current estimate on the next Block ACK; at frame
+    cadence that is a few ms, but a conservative default of tens of ms
+    covers batched delivery.
+    """
+    if delay_s < 0:
+        raise ValueError("delay must be non-negative")
+    return [replace(hint, time_s=hint.time_s + delay_s) for hint in hints]
+
+
+@dataclass
+class UplinkRunResult:
+    """Outcome of one uplink run (thin wrapper for symmetry with downlink)."""
+
+    rate_result: RateRunResult
+    hint_delay_s: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.rate_result.throughput_mbps
+
+
+def simulate_uplink(
+    adapter: RateAdapter,
+    trace: ChannelTrace,
+    aggregation: Optional[AggregationPolicy] = None,
+    hints: Sequence[MobilityEstimate] = (),
+    hint_delay_s: float = 0.050,
+    transmitter: Optional[FrameTransmitter] = None,
+    seed: SeedLike = None,
+) -> UplinkRunResult:
+    """Saturated client->AP transfer with AP-relayed mobility hints.
+
+    ``trace`` is the downlink channel trace; TDD reciprocity makes the
+    uplink SNR/Doppler identical.  ``hints`` are the AP classifier's
+    estimates (e.g. from ``sense_and_classify``); they reach the client's
+    rate controller and aggregation policy ``hint_delay_s`` late.
+    """
+    del seed  # reserved for future client-side randomness
+    delayed = delay_hints(hints, hint_delay_s)
+    aggregation = aggregation or FixedAggregation(4.0)
+    cursor = {"i": 0}
+
+    def aggregation_time(now_s: float) -> float:
+        while cursor["i"] < len(delayed) and delayed[cursor["i"]].time_s <= now_s:
+            aggregation.update_hint(delayed[cursor["i"]])
+            cursor["i"] += 1
+        return aggregation.aggregation_time_s(now_s)
+
+    result = simulate_rate_control(
+        adapter,
+        trace,
+        transmitter=transmitter,
+        aggregation_time_fn=aggregation_time,
+        hints=delayed,
+    )
+    return UplinkRunResult(rate_result=result, hint_delay_s=hint_delay_s)

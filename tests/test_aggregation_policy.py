@@ -1,0 +1,62 @@
+"""Unit tests for the frame-aggregation policies."""
+
+import pytest
+
+from repro.aggregation.policy import FixedAggregation, MobilityAwareAggregation
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import default_policy_table
+from repro.mobility.modes import Heading, MobilityMode
+
+
+class TestFixedAggregation:
+    def test_constant(self):
+        policy = FixedAggregation(4.0)
+        assert policy.aggregation_time_s(0.0) == pytest.approx(0.004)
+        assert policy.aggregation_time_s(99.0) == pytest.approx(0.004)
+
+    def test_name_reflects_setting(self):
+        assert FixedAggregation(8.0).name == "fixed-8ms"
+
+    def test_hints_ignored(self):
+        policy = FixedAggregation(4.0)
+        policy.update_hint(MobilityEstimate(0.0, MobilityMode.MACRO, Heading.AWAY,
+                                            tof_window_full=True))
+        assert policy.aggregation_time_s(1.0) == pytest.approx(0.004)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedAggregation(0.0)
+
+
+class TestMobilityAwareAggregation:
+    def test_initial_default(self):
+        policy = MobilityAwareAggregation()
+        assert policy.aggregation_time_s(0.0) == pytest.approx(0.004)
+
+    def test_follows_table2(self):
+        table = default_policy_table()
+        policy = MobilityAwareAggregation(table)
+        cases = [
+            (MobilityMode.STATIC, Heading.NONE),
+            (MobilityMode.ENVIRONMENTAL, Heading.NONE),
+            (MobilityMode.MICRO, Heading.NONE),
+            (MobilityMode.MACRO, Heading.AWAY),
+            (MobilityMode.MACRO, Heading.TOWARDS),
+        ]
+        for mode, heading in cases:
+            policy.update_hint(
+                MobilityEstimate(0.0, mode, heading,
+                                 tof_window_full=heading != Heading.NONE)
+            )
+            expected = table.lookup(mode, heading).aggregation_limit_ms / 1000.0
+            assert policy.aggregation_time_s(0.0) == pytest.approx(expected)
+
+    def test_static_longer_than_macro(self):
+        policy = MobilityAwareAggregation()
+        policy.update_hint(MobilityEstimate(0.0, MobilityMode.STATIC))
+        static_time = policy.aggregation_time_s(0.0)
+        policy.update_hint(
+            MobilityEstimate(1.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True)
+        )
+        macro_time = policy.aggregation_time_s(1.0)
+        assert static_time > macro_time

@@ -1,0 +1,225 @@
+"""Unit tests for precoding, feedback scheduling, SU-BF and MU-MIMO."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.feedback import FixedPeriodFeedback, MobilityAwareFeedback
+from repro.beamforming.mu_mimo import MuMimoEmulator
+from repro.beamforming.precoding import (
+    beamforming_gain,
+    mrt_weights,
+    zero_forcing_weights,
+)
+from repro.beamforming.su_bf import simulate_su_beamforming
+from repro.channel.config import ChannelConfig
+from repro.channel.model import LinkChannel
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import default_policy_table
+from repro.mobility.modes import Heading, MobilityMode
+from repro.mobility.trajectory import StaticTrajectory, WaypointWalkTrajectory
+from repro.util.geometry import Point
+
+
+def _random_h(rng, k=13, t=3):
+    return (rng.standard_normal((k, t)) + 1j * rng.standard_normal((k, t))) / np.sqrt(2)
+
+
+class TestMrt:
+    def test_unit_norm(self):
+        rng = np.random.default_rng(0)
+        weights = mrt_weights(_random_h(rng))
+        assert np.allclose(np.linalg.norm(weights, axis=1), 1.0)
+
+    def test_full_array_gain_when_fresh(self):
+        rng = np.random.default_rng(1)
+        h = _random_h(rng, k=52)
+        gain = beamforming_gain(h, mrt_weights(h))
+        reference = np.mean(np.abs(h) ** 2)
+        # 3 TX antennas: +10*log10(3) ~ 4.77 dB over a single antenna.
+        assert 10 * np.log10(np.mean(gain) / reference) == pytest.approx(4.77, abs=0.3)
+
+    def test_random_weights_no_gain(self):
+        rng = np.random.default_rng(2)
+        h = _random_h(rng, k=52)
+        other = mrt_weights(_random_h(rng, k=52))  # weights for another channel
+        gain = beamforming_gain(h, other)
+        reference = np.mean(np.abs(h) ** 2)
+        assert 10 * np.log10(np.mean(gain) / reference) < 2.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mrt_weights(np.ones(52))
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            beamforming_gain(_random_h(rng), mrt_weights(_random_h(rng, k=7)))
+
+
+class TestZeroForcing:
+    def test_nulls_other_users(self):
+        rng = np.random.default_rng(4)
+        h_users = np.stack([_random_h(rng) for _ in range(3)])
+        weights = zero_forcing_weights(h_users)
+        for u in range(3):
+            for v in range(3):
+                leak = beamforming_gain(h_users[u], weights[v])
+                signal = beamforming_gain(h_users[u], weights[u])
+                if u != v:
+                    assert np.mean(leak) < np.mean(signal) * 1e-6
+
+    def test_unit_norm_weights(self):
+        rng = np.random.default_rng(5)
+        h_users = np.stack([_random_h(rng) for _ in range(2)])
+        weights = zero_forcing_weights(h_users)
+        assert np.allclose(np.linalg.norm(weights, axis=2), 1.0)
+
+    def test_too_many_users_rejected(self):
+        rng = np.random.default_rng(6)
+        h_users = np.stack([_random_h(rng, t=3) for _ in range(4)])
+        with pytest.raises(ValueError):
+            zero_forcing_weights(h_users)
+
+    def test_stale_csi_leaks_interference(self):
+        """The Fig. 12 mechanism."""
+        rng = np.random.default_rng(7)
+        h_users = np.stack([_random_h(rng) for _ in range(3)])
+        weights = zero_forcing_weights(h_users)
+        moved = h_users.copy()
+        moved[0] = _random_h(rng)  # user 0 moved: its channel re-randomised
+        leak_into_0 = sum(
+            np.mean(beamforming_gain(moved[0], weights[v])) for v in (1, 2)
+        )
+        signal_0 = np.mean(beamforming_gain(moved[0], weights[0]))
+        # The stale precoder no longer separates user 0's signal from leaks.
+        assert leak_into_0 > signal_0 * 0.1
+
+
+class TestFeedbackSchedulers:
+    def test_fixed_period(self):
+        scheduler = FixedPeriodFeedback(100.0)
+        assert scheduler.due(0.0)
+        scheduler.mark(0.0)
+        assert not scheduler.due(0.05)
+        assert scheduler.due(0.11)
+
+    def test_mobility_aware_follows_policy(self):
+        table = default_policy_table()
+        scheduler = MobilityAwareFeedback(policy_table=table)
+        scheduler.update_hint(MobilityEstimate(0.0, MobilityMode.STATIC))
+        assert scheduler.period_s() == pytest.approx(
+            table.lookup(MobilityMode.STATIC).su_bf_feedback_ms / 1000.0
+        )
+        scheduler.update_hint(
+            MobilityEstimate(1.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True)
+        )
+        assert scheduler.period_s() == pytest.approx(
+            table.lookup(MobilityMode.MACRO, Heading.AWAY).su_bf_feedback_ms / 1000.0
+        )
+
+    def test_mu_mimo_column(self):
+        table = default_policy_table()
+        scheduler = MobilityAwareFeedback(policy_table=table, mu_mimo=True)
+        scheduler.update_hint(
+            MobilityEstimate(0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True)
+        )
+        assert scheduler.period_s() == pytest.approx(
+            table.lookup(MobilityMode.MACRO, Heading.AWAY).mu_mimo_feedback_ms / 1000.0
+        )
+
+    def test_reset(self):
+        scheduler = FixedPeriodFeedback(50.0)
+        scheduler.mark(1.0)
+        scheduler.reset()
+        assert scheduler.due(0.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            FixedPeriodFeedback(0.0)
+
+
+def _bf_trace(trajectory_cls, seed, duration=6.0, **kwargs):
+    cfg = ChannelConfig(n_rx=1, rician_k_db=-5.0, n_paths=16)
+    ap = Point(0.0, 0.0)
+    start = Point(15.0, 5.0)
+    if trajectory_cls is StaticTrajectory:
+        trajectory = StaticTrajectory(start).sample(duration, 0.005)
+    else:
+        trajectory = trajectory_cls(start, seed=seed, **kwargs).sample(duration, 0.005)
+    link = LinkChannel(ap, cfg, seed=seed)
+    return link.evaluate(trajectory.times, trajectory.positions, include_h=True)
+
+
+class TestSuBeamforming:
+    def test_static_link_keeps_array_gain(self):
+        trace = _bf_trace(StaticTrajectory, seed=10)
+        result = simulate_su_beamforming(trace, FixedPeriodFeedback(500.0), seed=1)
+        assert result.mean_gain_db > 3.0
+
+    def test_walking_link_loses_gain_with_slow_feedback(self):
+        trace = _bf_trace(WaypointWalkTrajectory, seed=11, area=(-40, -40, 40, 40))
+        slow = simulate_su_beamforming(trace, FixedPeriodFeedback(2000.0), seed=2)
+        fast = simulate_su_beamforming(trace, FixedPeriodFeedback(20.0), seed=2)
+        assert fast.mean_gain_db > slow.mean_gain_db + 1.0
+
+    def test_overhead_grows_with_feedback_rate(self):
+        trace = _bf_trace(StaticTrajectory, seed=12)
+        fast = simulate_su_beamforming(trace, FixedPeriodFeedback(20.0), seed=3)
+        slow = simulate_su_beamforming(trace, FixedPeriodFeedback(2000.0), seed=3)
+        assert fast.overhead_fraction > slow.overhead_fraction
+        assert fast.n_feedbacks > slow.n_feedbacks
+
+    def test_requires_csi(self):
+        trace = _bf_trace(StaticTrajectory, seed=13)
+        import dataclasses
+
+        no_h = dataclasses.replace(trace, h=None)
+        with pytest.raises(ValueError):
+            simulate_su_beamforming(no_h, FixedPeriodFeedback(100.0))
+
+
+class TestMuMimo:
+    def _three_traces(self, seed=20, duration=4.0):
+        cfg = ChannelConfig(n_rx=1, rician_k_db=-5.0, n_paths=16)
+        ap = Point(0.0, 0.0)
+        rng = np.random.default_rng(seed)
+        traces = []
+        for i in range(3):
+            start = Point(12.0 + 4 * i, 3.0 * (i - 1))
+            trajectory = StaticTrajectory(start).sample(duration, 0.005)
+            link = LinkChannel(ap, cfg, seed=seed + i)
+            traces.append(link.evaluate(trajectory.times, trajectory.positions, include_h=True))
+        del rng
+        return traces
+
+    def test_serves_three_clients(self):
+        traces = self._three_traces()
+        emulator = MuMimoEmulator(seed=1)
+        result = emulator.run(traces, [FixedPeriodFeedback(50.0) for _ in range(3)])
+        assert len(result.per_client_throughput_mbps) == 3
+        assert all(t > 0 for t in result.per_client_throughput_mbps)
+        assert result.network_throughput_mbps == pytest.approx(
+            sum(result.per_client_throughput_mbps)
+        )
+
+    def test_overhead_scales_with_feedback(self):
+        traces = self._three_traces()
+        fast = MuMimoEmulator(seed=2).run(traces, [FixedPeriodFeedback(20.0)] * 3)
+        slow = MuMimoEmulator(seed=2).run(traces, [FixedPeriodFeedback(500.0)] * 3)
+        assert fast.overhead_fraction > slow.overhead_fraction
+
+    def test_needs_at_least_two_clients(self):
+        traces = self._three_traces()
+        with pytest.raises(ValueError):
+            MuMimoEmulator(seed=3).run(traces[:1], [FixedPeriodFeedback(50.0)])
+
+    def test_scheduler_count_must_match(self):
+        traces = self._three_traces()
+        with pytest.raises(ValueError):
+            MuMimoEmulator(seed=4).run(traces, [FixedPeriodFeedback(50.0)] * 2)
+
+    def test_static_clients_tolerate_slow_feedback(self):
+        """Fig. 12(a): static-ish clients degrade little with period."""
+        traces = self._three_traces(duration=4.0)
+        fast = MuMimoEmulator(seed=5).run(traces, [FixedPeriodFeedback(20.0)] * 3)
+        slow = MuMimoEmulator(seed=5).run(traces, [FixedPeriodFeedback(200.0)] * 3)
+        # Static clients: slow feedback must not collapse throughput.
+        assert slow.network_throughput_mbps > fast.network_throughput_mbps * 0.6

@@ -1,0 +1,251 @@
+"""Unit tests for the channel substrate: propagation, paths, link model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.config import ChannelConfig
+from repro.channel.model import LinkChannel
+from repro.channel.paths import draw_path_set, steering_vector
+from repro.channel.perturbations import LinkPerturbations, PerturbationConfig, trace_seed
+from repro.channel.propagation import ShadowingProcess, free_space_path_loss_db, path_loss_db
+from repro.core.similarity import csi_similarity_series
+from repro.mobility.environment import EnvironmentActivity, EnvironmentProcess
+from repro.mobility.trajectory import StaticTrajectory, WaypointWalkTrajectory
+from repro.util.geometry import Point
+
+AP = Point(0.0, 0.0)
+CLIENT = Point(10.0, 5.0)
+
+
+class TestConfig:
+    def test_subcarrier_layout(self):
+        cfg = ChannelConfig()
+        offsets = cfg.subcarrier_offsets_hz()
+        assert len(offsets) == cfg.n_subcarriers
+        assert 0.0 not in offsets  # DC excluded
+        assert offsets[0] == -offsets[-1]  # symmetric
+
+    def test_doppler(self):
+        cfg = ChannelConfig()
+        assert cfg.doppler_hz(1.2) == pytest.approx(1.2 / cfg.wavelength_m)
+        with pytest.raises(ValueError):
+            cfg.doppler_hz(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(n_subcarriers=1)
+        with pytest.raises(ValueError):
+            ChannelConfig(n_paths=0)
+
+
+class TestPathLoss:
+    def test_friis_at_one_metre(self):
+        # ~47.7 dB at 5.825 GHz.
+        assert free_space_path_loss_db(1.0, 5.825e9) == pytest.approx(47.75, abs=0.1)
+
+    def test_monotone_in_distance(self):
+        distances = np.array([1.0, 3.0, 5.0, 10.0, 30.0])
+        losses = path_loss_db(distances, 5.825e9)
+        assert np.all(np.diff(losses) > 0)
+
+    def test_breakpoint_slope_change(self):
+        # Below the breakpoint the slope is ~20 dB/decade; above, steeper.
+        near = path_loss_db(4.0, 5.825e9) - path_loss_db(2.0, 5.825e9)
+        far = path_loss_db(40.0, 5.825e9) - path_loss_db(20.0, 5.825e9)
+        assert far > near
+
+    def test_continuous_at_breakpoint(self):
+        just_below = path_loss_db(4.999, 5.825e9, breakpoint_m=5.0)
+        just_above = path_loss_db(5.001, 5.825e9, breakpoint_m=5.0)
+        assert just_above == pytest.approx(just_below, abs=0.05)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            path_loss_db(0.0, 5.825e9)
+
+
+class TestShadowing:
+    def test_static_client_keeps_value(self):
+        shadow = ShadowingProcess(5.0, 3.0, seed=1)
+        first = shadow.value_db
+        for _ in range(10):
+            shadow.advance(0.0)
+        assert shadow.value_db == first
+
+    def test_decorrelates_with_distance(self):
+        values_near = []
+        values_far = []
+        for seed in range(200):
+            a = ShadowingProcess(5.0, 3.0, seed=seed)
+            start = a.value_db
+            a.advance(0.5)
+            values_near.append((start, a.value_db))
+            b = ShadowingProcess(5.0, 3.0, seed=seed + 1000)
+            start = b.value_db
+            b.advance(30.0)
+            values_far.append((start, b.value_db))
+        corr_near = np.corrcoef(*zip(*values_near))[0, 1]
+        corr_far = np.corrcoef(*zip(*values_far))[0, 1]
+        assert corr_near > 0.7
+        assert abs(corr_far) < 0.35
+
+    def test_zero_sigma_is_flat(self):
+        shadow = ShadowingProcess(0.0, 3.0, seed=2)
+        assert shadow.value_db == 0.0
+        shadow.advance(100.0)
+        assert shadow.value_db == 0.0
+
+    def test_trace_matches_sequential_advances(self):
+        steps = np.array([0.0, 1.0, 2.0, 0.5])
+        a = ShadowingProcess(4.0, 5.0, seed=3)
+        got = a.trace(steps)
+        assert got.shape == (4,)
+
+
+class TestPathSet:
+    def test_power_normalised(self):
+        paths = draw_path_set(ChannelConfig(), los_angle_rad=0.3, seed=1)
+        assert paths.total_power() == pytest.approx(1.0)
+
+    def test_los_first(self):
+        paths = draw_path_set(ChannelConfig(), los_angle_rad=0.3, seed=2)
+        assert paths.excess_delays_s[0] == 0.0
+        assert np.all(paths.excess_delays_s[1:] > 0)
+
+    def test_los_power_follows_rician_k(self):
+        strong = draw_path_set(ChannelConfig(rician_k_db=10.0), 0.0, seed=3)
+        weak = draw_path_set(ChannelConfig(rician_k_db=-10.0), 0.0, seed=3)
+        assert abs(strong.amplitudes[0]) > abs(weak.amplitudes[0])
+
+    def test_arrival_unit_vectors(self):
+        paths = draw_path_set(ChannelConfig(), 0.0, seed=4)
+        units = paths.arrival_unit_vectors()
+        assert np.allclose(np.hypot(units[:, 0], units[:, 1]), 1.0)
+
+    def test_steering_vector_magnitudes(self):
+        steering = steering_vector(np.array([0.1, 0.9]), 3)
+        assert steering.shape == (2, 3)
+        assert np.allclose(np.abs(steering), 1.0)
+
+
+class TestLinkChannel:
+    def _evaluate(self, trajectory, environment=None, seed=42, **cfg_kwargs):
+        cfg = ChannelConfig(**cfg_kwargs)
+        link = LinkChannel(AP, cfg, environment=environment, seed=seed)
+        return link.evaluate(trajectory.times, trajectory.positions, include_h=True)
+
+    def test_shapes(self):
+        trajectory = StaticTrajectory(CLIENT).sample(2.0, 0.1)
+        trace = self._evaluate(trajectory)
+        cfg = ChannelConfig()
+        assert trace.h.shape == (20, cfg.n_subcarriers, cfg.n_tx, cfg.n_rx)
+        assert len(trace.snr_db) == 20
+
+    def test_static_channel_is_stable(self):
+        trajectory = StaticTrajectory(CLIENT).sample(10.0, 0.1)
+        trace = self._evaluate(trajectory)
+        sims = csi_similarity_series(trace.h, lag=5)
+        assert np.mean(sims) > 0.985
+
+    def test_walking_channel_decorrelates(self):
+        trajectory = WaypointWalkTrajectory(CLIENT, area=(-40, -40, 40, 40), seed=1).sample(
+            10.0, 0.1
+        )
+        trace = self._evaluate(trajectory)
+        sims = csi_similarity_series(trace.h, lag=5)
+        assert np.mean(sims) < 0.7
+
+    def test_environment_sits_between(self):
+        trajectory = StaticTrajectory(CLIENT).sample(20.0, 0.1)
+        env = EnvironmentProcess.from_activity(EnvironmentActivity.STRONG)
+        trace = self._evaluate(trajectory, environment=env)
+        sims = csi_similarity_series(trace.h, lag=5)
+        assert 0.55 < np.mean(sims) < 0.985
+
+    def test_rssi_decreases_with_distance(self):
+        near = StaticTrajectory(Point(5.0, 0.0)).sample(2.0, 0.1)
+        far = StaticTrajectory(Point(30.0, 0.0)).sample(2.0, 0.1)
+        rssi_near = np.mean(self._evaluate(near, seed=5).rssi_dbm)
+        rssi_far = np.mean(self._evaluate(far, seed=5).rssi_dbm)
+        assert rssi_near > rssi_far + 10.0
+
+    def test_effective_snr_not_above_mean_snr(self):
+        trajectory = StaticTrajectory(CLIENT).sample(5.0, 0.1)
+        trace = self._evaluate(trajectory)
+        # Geometric band mean <= arithmetic band mean.
+        assert np.all(trace.effective_snr_db <= trace.snr_db + 1e-9)
+
+    def test_doppler_tracks_speed(self):
+        walk = WaypointWalkTrajectory(CLIENT, area=(-40, -40, 40, 40), seed=2).sample(5.0, 0.05)
+        trace = self._evaluate(walk)
+        cfg = ChannelConfig()
+        expected = np.median(walk.speeds()) / cfg.wavelength_m
+        assert np.median(trace.doppler_hz) == pytest.approx(expected, rel=0.25)
+
+    def test_state_continuity_across_calls(self):
+        cfg = ChannelConfig()
+        link = LinkChannel(AP, cfg, seed=10)
+        t1 = StaticTrajectory(CLIENT).sample(2.0, 0.1)
+        first = link.evaluate(t1.times, t1.positions, include_h=True)
+        second = link.evaluate(t1.times + 2.0, t1.positions, include_h=True)
+        # Same ray set: consecutive static evaluations stay highly similar.
+        from repro.core.similarity import csi_similarity
+
+        assert csi_similarity(first.h[-1], second.h[0]) > 0.95
+
+    def test_measured_csi_noise_scales_with_snr(self):
+        trajectory = StaticTrajectory(CLIENT).sample(2.0, 0.1)
+        trace = self._evaluate(trajectory)
+        measured = trace.measured_csi(0, smooth_subcarriers=1)
+        error = np.mean(np.abs(measured - trace.h) ** 2)
+        signal = np.mean(np.abs(trace.h) ** 2)
+        expected = signal / 10 ** ((np.mean(trace.snr_db) + 10.0) / 10.0)
+        assert error == pytest.approx(expected, rel=0.5)
+
+    def test_uniform_grid_required(self):
+        link = LinkChannel(AP, ChannelConfig(), seed=11)
+        times = np.array([0.0, 0.1, 0.3])
+        positions = np.zeros((3, 2)) + 5.0
+        with pytest.raises(ValueError):
+            link.evaluate(times, positions)
+
+    def test_environmental_blockage_raises_rssi_variance(self):
+        trajectory = StaticTrajectory(CLIENT).sample(60.0, 0.05)
+        quiet = self._evaluate(trajectory, seed=12)
+        env = EnvironmentProcess.from_activity(EnvironmentActivity.STRONG)
+        busy = self._evaluate(trajectory, environment=env, seed=12)
+        assert np.std(busy.rssi_dbm) > np.std(quiet.rssi_dbm) * 1.5
+
+
+class TestPerturbations:
+    def test_burst_schedule_deterministic(self):
+        a = LinkPerturbations(0.0, 60.0, seed=5)
+        b = LinkPerturbations(0.0, 60.0, seed=5)
+        assert a.bursts == b.bursts
+
+    def test_burst_rate_roughly_matches(self):
+        config = PerturbationConfig(interference_rate_hz=1.0)
+        perturb = LinkPerturbations(0.0, 600.0, config, seed=6)
+        assert 450 <= len(perturb.bursts) <= 750
+
+    def test_fading_is_stationary_with_expected_std(self):
+        config = PerturbationConfig(fading_jitter_db=2.0, interference_rate_hz=0.0)
+        perturb = LinkPerturbations(0.0, 100.0, config, seed=7)
+        samples = [perturb.advance(t, 20.0)[0] for t in np.arange(0.0, 100.0, 0.05)]
+        assert np.std(samples) == pytest.approx(2.0, rel=0.25)
+
+    def test_static_fading_barely_moves(self):
+        config = PerturbationConfig(fading_jitter_db=2.0, interference_rate_hz=0.0)
+        perturb = LinkPerturbations(0.0, 10.0, config, seed=8)
+        samples = [perturb.advance(t, 0.15)[0] for t in np.arange(0.0, 5.0, 0.01)]
+        assert np.std(np.diff(samples)) < 0.2
+
+    def test_burst_flag_raised_inside_burst(self):
+        config = PerturbationConfig(interference_rate_hz=5.0, interference_duration_s=0.1)
+        perturb = LinkPerturbations(0.0, 20.0, config, seed=9)
+        flags = [perturb.advance(t, 1.0)[1] for t in np.arange(0.0, 20.0, 0.005)]
+        assert any(flags)
+        assert not all(flags)
+
+    def test_trace_seed_depends_on_content(self):
+        assert trace_seed(np.array([1.0, 2.0])) != trace_seed(np.array([1.0, 3.0]))

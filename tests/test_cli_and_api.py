@@ -1,0 +1,124 @@
+"""Tests for the experiments CLI and the top-level public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.testing import synthetic_trace
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        # The documented one-breath API.
+        assert callable(repro.csi_similarity)
+        clf = repro.MobilityClassifier()
+        assert clf.estimate is None
+        assert repro.MobilityMode.MACRO.is_device_mobility
+        assert repro.Point(3, 4).norm() == 5.0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_default_policy_table_export(self):
+        table = repro.default_policy_table()
+        policy = table.lookup(repro.MobilityMode.STATIC)
+        assert policy.aggregation_limit_ms == 8.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_run(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "completed in" in out
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {
+            "fig1", "fig2", "fig4", "table1", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "speed", "thresholds",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestSyntheticTrace:
+    def test_flat(self):
+        trace = synthetic_trace(snr_db=20.0, duration_s=2.0, dt=0.1)
+        assert len(trace) == 20
+        assert np.all(trace.snr_db == 20.0)
+
+    def test_callable_snr(self):
+        trace = synthetic_trace(snr_db=lambda t: 10.0 + t, duration_s=2.0, dt=1.0)
+        assert trace.snr_db[0] == 10.0
+        assert trace.snr_db[1] == 11.0
+
+    def test_effective_snr_falls_back(self):
+        trace = synthetic_trace()
+        assert np.array_equal(trace.per_snr_db(), trace.snr_db)
+
+
+class TestIoCli:
+    @pytest.fixture
+    def log_path(self, tmp_path):
+        from repro.io.csitool import CsiRecord, write_csitool_log
+        from repro.io.csitool import N_SUBCARRIERS
+
+        rng = np.random.default_rng(0)
+        base = np.abs(rng.standard_normal((N_SUBCARRIERS, 2, 3))) * 40 + 20
+        records = [
+            CsiRecord(
+                timestamp_low=600_000 * i,
+                bfee_count=i,
+                n_rx=3,
+                n_tx=2,
+                rssi_a=40,
+                rssi_b=41,
+                rssi_c=0,
+                noise=-92,
+                agc=30,
+                antenna_sel=0b100100,
+                rate=0x1234,
+                csi=np.round(base + rng.normal(0, 0.4, base.shape)) + 0j,
+            )
+            for i in range(6)
+        ]
+        path = tmp_path / "log.dat"
+        write_csitool_log(records, path)
+        return path
+
+    def test_info(self, log_path, capsys):
+        from repro.io.__main__ import main as io_main
+
+        assert io_main(["info", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records:    6" in out
+        assert "2x3" in out
+
+    def test_classify(self, log_path, capsys):
+        from repro.io.__main__ import main as io_main
+
+        assert io_main(["classify", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out  # a stable log classifies static
+
+    def test_missing_records(self, tmp_path, capsys):
+        from repro.io.__main__ import main as io_main
+
+        empty = tmp_path / "empty.dat"
+        empty.write_bytes(b"")
+        assert io_main(["info", str(empty)]) == 1

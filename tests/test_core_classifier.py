@@ -1,0 +1,199 @@
+"""Unit tests for the Fig. 5 classifier state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, MobilityClassifier
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import default_policy_table, mobility_oblivious_policy
+from repro.mobility.modes import Heading, MobilityMode
+
+
+def _flat_csi(level=1.0, k=52, jitter=0.0, rng=None):
+    base = np.linspace(1.0, 2.0, k) * level
+    if jitter and rng is not None:
+        base = base + rng.normal(0.0, jitter, k)
+    return base
+
+
+def _random_csi(rng, k=52):
+    return np.abs(rng.standard_normal(k)) + 0.05
+
+
+class TestThresholds:
+    def test_stable_channel_classified_static(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(0)
+        estimate = None
+        for i in range(6):
+            estimate = clf.push_csi(0.5 * i, _flat_csi(jitter=0.001, rng=rng))
+        assert estimate.mode == MobilityMode.STATIC
+        assert estimate.csi_similarity > 0.98
+
+    def test_fully_random_channel_classified_device(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(1)
+        estimate = None
+        for i in range(6):
+            estimate = clf.push_csi(0.5 * i, _random_csi(rng))
+        assert estimate.mode in (MobilityMode.MICRO, MobilityMode.MACRO)
+
+    def test_intermediate_similarity_is_environmental(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(2)
+        base = _flat_csi()
+        estimate = None
+        for i in range(8):
+            # Perturb a subset of subcarriers: partial change.
+            sample = base.copy()
+            idx = rng.choice(52, size=10, replace=False)
+            sample[idx] += rng.normal(0.0, 0.35, 10)
+            estimate = clf.push_csi(0.5 * i, sample)
+        assert estimate.mode == MobilityMode.ENVIRONMENTAL
+
+    def test_first_sample_yields_no_estimate(self):
+        clf = MobilityClassifier()
+        assert clf.push_csi(0.0, _flat_csi()) is None
+        assert clf.estimate is None
+
+
+class TestToFGating:
+    def test_tof_starts_only_on_device_mobility(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(3)
+        clf.push_csi(0.0, _flat_csi(jitter=0.001, rng=rng))
+        clf.push_csi(0.5, _flat_csi(jitter=0.001, rng=rng))
+        assert not clf.wants_tof  # static: no ToF measurement
+        for i in range(4):
+            clf.push_csi(1.0 + 0.5 * i, _random_csi(rng))
+        assert clf.wants_tof
+
+    def test_tof_stops_when_mobility_ends(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rng = np.random.default_rng(4)
+        for i in range(4):
+            clf.push_csi(0.5 * i, _random_csi(rng))
+        assert clf.wants_tof
+        stable = _flat_csi()
+        for i in range(4):
+            clf.push_csi(2.0 + 0.5 * i, stable)
+        assert not clf.wants_tof
+
+    def test_tof_ignored_while_inactive(self):
+        clf = MobilityClassifier()
+        clf.push_tof(0.0, 100.0)  # must not crash nor affect state
+        assert clf.estimate is None
+
+    def test_macro_detected_with_trending_tof(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rng = np.random.default_rng(5)
+        # Enter device mobility.
+        clf.push_csi(0.0, _random_csi(rng))
+        clf.push_csi(0.5, _random_csi(rng))
+        assert clf.wants_tof
+        # Feed 5 seconds of increasing ToF (50 samples/s).
+        t = 0.5
+        for second in range(5):
+            for _ in range(50):
+                t += 0.02
+                clf.push_tof(t, 100.0 + second)
+            estimate = clf.push_csi(t, _random_csi(rng))
+        assert estimate.mode == MobilityMode.MACRO
+        assert estimate.heading == Heading.AWAY
+
+    def test_micro_when_tof_flat(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rng = np.random.default_rng(6)
+        clf.push_csi(0.0, _random_csi(rng))
+        t = 0.0
+        for second in range(5):
+            for _ in range(50):
+                t += 0.02
+                clf.push_tof(t, 100.0 + rng.normal(0, 0.2))
+            estimate = clf.push_csi(t, _random_csi(rng))
+        assert estimate.mode == MobilityMode.MICRO
+
+    def test_reset_forgets_everything(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(7)
+        for i in range(4):
+            clf.push_csi(0.5 * i, _random_csi(rng))
+        clf.reset()
+        assert clf.estimate is None
+        assert not clf.wants_tof
+        assert clf.history == []
+
+    def test_history_grows_per_decision(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(8)
+        for i in range(5):
+            clf.push_csi(0.5 * i, _random_csi(rng))
+        assert len(clf.history) == 4
+
+
+class TestConfigValidation:
+    def test_threshold_order_enforced(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(threshold_static=0.5, threshold_environmental=0.9)
+
+    def test_positive_period(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(csi_sampling_period_s=0.0)
+
+
+class TestHints:
+    def test_heading_requires_macro(self):
+        with pytest.raises(ValueError):
+            MobilityEstimate(time_s=0.0, mode=MobilityMode.MICRO, heading=Heading.AWAY)
+
+    def test_moving_flags(self):
+        away = MobilityEstimate(0.0, MobilityMode.MACRO, Heading.AWAY)
+        towards = MobilityEstimate(0.0, MobilityMode.MACRO, Heading.TOWARDS)
+        static = MobilityEstimate(0.0, MobilityMode.STATIC)
+        assert away.moving_away and not away.moving_towards
+        assert towards.moving_towards and not towards.moving_away
+        assert not static.moving_away and not static.is_device_mobility
+
+
+class TestPolicyTable:
+    def test_all_states_present(self):
+        table = default_policy_table()
+        for mode in MobilityMode:
+            policy = table.lookup(mode)
+            assert policy.aggregation_limit_ms > 0
+
+    def test_macro_without_heading_uses_away_column(self):
+        table = default_policy_table()
+        assert table.lookup(MobilityMode.MACRO) is table.lookup(
+            MobilityMode.MACRO, Heading.AWAY
+        )
+
+    def test_paper_aggregation_values(self):
+        table = default_policy_table()
+        assert table.lookup(MobilityMode.STATIC).aggregation_limit_ms == 8.0
+        assert table.lookup(MobilityMode.ENVIRONMENTAL).aggregation_limit_ms == 8.0
+        assert table.lookup(MobilityMode.MICRO).aggregation_limit_ms == 2.0
+        assert table.lookup(MobilityMode.MACRO).aggregation_limit_ms == 2.0
+
+    def test_static_keeps_longest_history(self):
+        table = default_policy_table()
+        alphas = {mode: table.lookup(mode).per_smoothing_factor for mode in MobilityMode}
+        assert alphas[MobilityMode.STATIC] == min(alphas.values())
+
+    def test_only_away_triggers_roaming(self):
+        table = default_policy_table()
+        assert table.lookup(MobilityMode.MACRO, Heading.AWAY).encourage_roaming
+        assert not table.lookup(MobilityMode.MACRO, Heading.TOWARDS).encourage_roaming
+        assert not table.lookup(MobilityMode.STATIC).encourage_roaming
+
+    def test_feedback_periods_shrink_with_mobility(self):
+        table = default_policy_table()
+        static = table.lookup(MobilityMode.STATIC).su_bf_feedback_ms
+        macro = table.lookup(MobilityMode.MACRO, Heading.AWAY).su_bf_feedback_ms
+        assert macro < static
+
+    def test_oblivious_defaults(self):
+        policy = mobility_oblivious_policy()
+        assert policy.per_smoothing_factor == pytest.approx(1 / 8)
+        assert policy.aggregation_limit_ms == 4.0
+        assert policy.rate_retries == 0

@@ -1,0 +1,154 @@
+"""Unit tests for ToF median filtering and trend detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.tof_trend import (
+    ToFTrend,
+    ToFTrendConfig,
+    ToFTrendDetector,
+    detect_trend,
+)
+from repro.mobility.modes import Heading
+from repro.phy.tof import ToFConfig, ToFSampler
+
+
+class TestDetectTrend:
+    def test_clean_increase(self):
+        assert detect_trend([1.0, 2.0, 3.0, 4.0], 0.5, 0.8) == ToFTrend.INCREASING
+
+    def test_clean_decrease(self):
+        assert detect_trend([4.0, 3.0, 2.0, 1.0], 0.5, 0.8) == ToFTrend.DECREASING
+
+    def test_plateaus_tolerated(self):
+        """Quantised medians plateau; the trend must still be callable."""
+        assert detect_trend([10.0, 10.0, 11.0, 11.0], 0.5, 0.8) == ToFTrend.INCREASING
+
+    def test_small_backward_step_tolerated(self):
+        assert detect_trend([10.0, 10.4, 10.1, 11.2], 0.5, 0.8) == ToFTrend.INCREASING
+
+    def test_large_contradiction_rejected(self):
+        assert detect_trend([10.0, 12.0, 10.2, 12.5], 0.5, 0.8) == ToFTrend.NONE
+
+    def test_insufficient_net_change(self):
+        # Micro mobility: fluctuation without net distance change.
+        assert detect_trend([10.0, 10.2, 10.3, 10.5], 0.5, 0.8) == ToFTrend.NONE
+
+    def test_too_short_window(self):
+        assert detect_trend([10.0], 0.5, 0.8) == ToFTrend.NONE
+
+    def test_heading_mapping(self):
+        assert ToFTrend.INCREASING.heading == Heading.AWAY
+        assert ToFTrend.DECREASING.heading == Heading.TOWARDS
+        assert ToFTrend.NONE.heading == Heading.NONE
+
+
+class TestConfig:
+    def test_samples_per_median(self):
+        config = ToFTrendConfig(sample_interval_s=0.02, median_period_s=1.0)
+        assert config.samples_per_median == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ToFTrendConfig(window_periods=1)
+        with pytest.raises(ValueError):
+            ToFTrendConfig(sample_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ToFTrendConfig(min_net_cycles=0.0)
+
+
+class TestDetector:
+    def _push_seconds(self, detector, values_per_second):
+        """Push one second (50 samples) per listed median value."""
+        for value in values_per_second:
+            for _ in range(50):
+                detector.push(value)
+
+    def test_no_trend_before_window_fills(self):
+        detector = ToFTrendDetector()
+        self._push_seconds(detector, [100, 101, 102, 103])  # window of 5 not full
+        assert not detector.window_full
+        assert detector.trend == ToFTrend.NONE
+
+    def test_macro_away_detected(self):
+        detector = ToFTrendDetector()
+        self._push_seconds(detector, [100, 101, 102, 103, 104])
+        assert detector.window_full
+        assert detector.trend == ToFTrend.INCREASING
+        assert detector.heading == Heading.AWAY
+
+    def test_macro_towards_detected(self):
+        detector = ToFTrendDetector()
+        self._push_seconds(detector, [104, 103, 102, 101, 100])
+        assert detector.heading == Heading.TOWARDS
+
+    def test_micro_noise_gives_no_trend(self):
+        detector = ToFTrendDetector()
+        self._push_seconds(detector, [100, 100.3, 99.9, 100.2, 100.1])
+        assert detector.window_full
+        assert detector.trend == ToFTrend.NONE
+
+    def test_reset_clears_window(self):
+        detector = ToFTrendDetector()
+        self._push_seconds(detector, [100, 101, 102, 103, 104])
+        detector.reset()
+        assert not detector.window_full
+        assert detector.trend == ToFTrend.NONE
+
+    def test_median_robust_to_outlier_readings(self):
+        detector = ToFTrendDetector()
+        for second in range(5):
+            base = 100.0 + second
+            for i in range(50):
+                value = base + (40.0 if i % 10 == 0 else 0.0)  # 10% outliers
+                detector.push(value)
+        assert detector.trend == ToFTrend.INCREASING
+
+    def test_push_returns_trend_on_median_boundary(self):
+        detector = ToFTrendDetector()
+        results = [detector.push(100.0) for _ in range(50)]
+        assert results[-1] is not None
+        assert all(r is None for r in results[:-1])
+
+
+class TestEndToEnd:
+    """The full ToF pipeline on simulated walks (the Fig. 4 mechanics)."""
+
+    def _detect(self, distances, seed):
+        sampler = ToFSampler(ToFConfig(), seed=seed)
+        readings = sampler.sample(distances)
+        detector = ToFTrendDetector()
+        trends = []
+        for reading in readings:
+            result = detector.push(reading)
+            if result is not None:
+                trends.append(result)
+        return trends
+
+    def test_walking_away_yields_increasing(self):
+        t = np.arange(0.0, 10.0, 0.02)
+        distances = 8.0 + 1.2 * t
+        trends = self._detect(distances, seed=1)
+        assert ToFTrend.INCREASING in trends[4:]
+
+    def test_walking_towards_yields_decreasing(self):
+        t = np.arange(0.0, 10.0, 0.02)
+        distances = 25.0 - 1.2 * t
+        trends = self._detect(distances, seed=2)
+        assert ToFTrend.DECREASING in trends[4:]
+
+    def test_confined_micro_motion_mostly_no_trend(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(0.0, 40.0, 0.02)
+        distances = 12.0 + 0.4 * np.sin(0.8 * t) + rng.normal(0, 0.05, len(t))
+        trends = self._detect(distances, seed=3)
+        full_window = trends[4:]
+        fraction_trending = np.mean([tr != ToFTrend.NONE for tr in full_window])
+        assert fraction_trending < 0.2
+
+    def test_circular_walk_fools_the_detector(self):
+        """The documented Section-9 limitation."""
+        t = np.arange(0.0, 30.0, 0.02)
+        distances = np.full_like(t, 8.0)  # circle around the AP
+        trends = self._detect(distances, seed=4)
+        assert all(tr == ToFTrend.NONE for tr in trends[4:])

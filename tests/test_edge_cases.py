@@ -1,0 +1,144 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.channel.config import ChannelConfig
+from repro.channel.model import ChannelTrace, LinkChannel
+from repro.core.classifier import MobilityClassifier
+from repro.core.similarity import csi_similarity
+from repro.mac.aggregation import FrameTransmitter
+from repro.mobility.trajectory import StaticTrajectory
+from repro.rate.atheros import AtherosRateAdaptation
+from repro.rate.simulator import simulate_rate_control
+from repro.testing import synthetic_trace
+from repro.util.geometry import Point
+
+AP = Point(0.0, 0.0)
+
+
+class TestChannelEdgeCases:
+    def test_single_sample_evaluation(self):
+        link = LinkChannel(AP, ChannelConfig(), seed=1)
+        trace = link.evaluate(np.array([0.0]), np.array([[10.0, 5.0]]), include_h=True)
+        assert len(trace) == 1
+        assert trace.h.shape[0] == 1
+
+    def test_client_at_ap_position_is_clamped(self):
+        """A client standing on the AP must not divide by zero."""
+        link = LinkChannel(AP, ChannelConfig(), seed=2)
+        trajectory = StaticTrajectory(Point(0.0, 0.0)).sample(1.0, 0.1)
+        trace = link.evaluate(trajectory.times, trajectory.positions, include_h=False)
+        assert np.all(np.isfinite(trace.snr_db))
+        assert np.all(trace.distances_m >= 0.5)
+
+    def test_very_far_client_still_finite(self):
+        link = LinkChannel(AP, ChannelConfig(), seed=3)
+        trajectory = StaticTrajectory(Point(500.0, 0.0)).sample(1.0, 0.1)
+        trace = link.evaluate(trajectory.times, trajectory.positions, include_h=False)
+        assert np.all(np.isfinite(trace.rssi_dbm))
+        assert np.mean(trace.snr_db) < 0.0  # deep in the noise
+
+    def test_mismatched_positions_shape(self):
+        link = LinkChannel(AP, ChannelConfig(), seed=4)
+        with pytest.raises(ValueError):
+            link.evaluate(np.array([0.0, 0.1]), np.zeros((3, 2)))
+
+    def test_empty_times(self):
+        link = LinkChannel(AP, ChannelConfig(), seed=5)
+        with pytest.raises(ValueError):
+            link.evaluate(np.array([]), np.zeros((0, 2)))
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            ChannelTrace(
+                times=np.zeros(3),
+                distances_m=np.zeros(2),  # wrong length
+                rssi_dbm=np.zeros(3),
+                snr_db=np.zeros(3),
+                fading_db=np.zeros(3),
+                doppler_hz=np.zeros(3),
+                mimo_condition_db=np.zeros(3),
+            )
+
+    def test_measured_csi_without_h(self):
+        trace = synthetic_trace()
+        with pytest.raises(ValueError):
+            trace.measured_csi(0)
+
+
+class TestClassifierEdgeCases:
+    def test_all_zero_csi(self):
+        """A dead channel estimate must not crash the similarity metric."""
+        clf = MobilityClassifier()
+        zeros = np.zeros(52)
+        clf.push_csi(0.0, zeros)
+        estimate = clf.push_csi(0.5, zeros)
+        assert estimate is not None  # flat == flat -> similarity 1 -> static
+
+    def test_similarity_with_zero_vector(self):
+        assert csi_similarity(np.zeros(52), np.zeros(52)) == 1.0
+
+    def test_single_subcarrier_rejected_gracefully(self):
+        # Degenerate but shape-valid input: 1-D length-2 vectors.
+        value = csi_similarity(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert value == pytest.approx(1.0)
+
+    def test_time_going_backwards_does_not_crash(self):
+        clf = MobilityClassifier()
+        rng = np.random.default_rng(6)
+        clf.push_csi(1.0, np.abs(rng.standard_normal(52)))
+        clf.push_csi(0.5, np.abs(rng.standard_normal(52)))  # out of order
+        assert clf.estimate is not None
+
+
+class TestRateEdgeCases:
+    def test_trace_shorter_than_one_frame(self):
+        trace = synthetic_trace(duration_s=0.2, dt=0.05)
+        result = simulate_rate_control(
+            AtherosRateAdaptation(),
+            trace,
+            transmitter=FrameTransmitter(seed=7),
+            perturbations=None,
+        )
+        assert result.n_frames >= 1
+
+    def test_snr_cliff_recovery(self):
+        """SNR collapses mid-run and recovers; the RA must follow both ways."""
+        trace = synthetic_trace(
+            snr_db=lambda t: 30.0 if (t < 5.0 or t > 10.0) else 2.0,
+            duration_s=15.0,
+        )
+        result = simulate_rate_control(
+            AtherosRateAdaptation(),
+            trace,
+            transmitter=FrameTransmitter(seed=8),
+            record_timeline=True,
+            perturbations=None,
+        )
+        times = np.array(result.frame_times)
+        mcs = np.array(result.frame_mcs)
+        during = mcs[(times > 7.0) & (times < 10.0)]
+        after = mcs[times > 13.0]
+        assert np.mean(during) < np.mean(after)  # dropped during the cliff
+        assert np.mean(after) > 5.0  # recovered
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ValueError):
+            FrameTransmitter(mpdu_payload_bytes=0)
+
+
+class TestMobilityEdgeCases:
+    def test_tiny_waypoint_area_terminates(self):
+        """Degenerate areas must not spin the waypoint picker forever."""
+        from repro.mobility.trajectory import WaypointWalkTrajectory
+
+        trajectory = WaypointWalkTrajectory(
+            Point(0.5, 0.5), area=(0.0, 0.0, 1.0, 1.0), seed=9
+        )
+        trace = trajectory.sample(5.0, 0.05)
+        assert len(trace) == 100
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StaticTrajectory(Point(0, 0)).sample(0.0, 0.1)

@@ -1,0 +1,46 @@
+"""Tests for the client-energy comparison (the paper's Section-1 argument)."""
+
+import pytest
+
+from repro.core.energy import (
+    ClientPowerProfile,
+    format_comparison,
+    phy_classification_energy,
+    sensor_hint_energy,
+)
+
+
+class TestEnergyModels:
+    def test_phy_far_cheaper_than_sensors(self):
+        """The paper's argument: AP-side sensing saves client battery."""
+        sensor = sensor_hint_energy()
+        phy = phy_classification_energy()
+        assert phy.average_mw < sensor.average_mw / 10.0
+
+    def test_phy_cost_scales_with_mobility(self):
+        idle = phy_classification_energy(device_mobility_fraction=0.0)
+        busy = phy_classification_energy(device_mobility_fraction=1.0)
+        assert idle.average_mw == 0.0  # Fig. 5 gating: no ToF when stationary
+        assert busy.average_mw > 0.0
+
+    def test_sensor_cost_dominated_by_sensing_not_uplink(self):
+        report = sensor_hint_energy()
+        sensing_only = sensor_hint_energy(hint_uploads_per_s=0.0)
+        assert sensing_only.average_mw > report.average_mw * 0.9
+
+    def test_battery_percent_per_day(self):
+        profile = ClientPowerProfile(battery_mwh=24.0)  # 1 mW for 24 h = 100%
+        report = sensor_hint_energy(profile)
+        assert report.battery_percent_per_day == pytest.approx(
+            report.average_mw * 100.0, rel=1e-9
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            phy_classification_energy(device_mobility_fraction=1.5)
+
+    def test_report_format(self):
+        text = format_comparison()
+        assert "sensor-hints" in text
+        assert "phy-classification" in text
+        assert "cheaper" in text

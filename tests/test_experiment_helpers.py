@@ -1,0 +1,60 @@
+"""Coverage for experiment helper functions and result objects."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import bounded_walk_scenario
+from repro.experiments.fig07_roaming import Fig7Result
+from repro.experiments.fig13_overall import Fig13Result
+from repro.mobility.modes import MobilityMode
+from repro.util.geometry import Point
+from repro.util.stats import EmpiricalCDF
+
+
+class TestBoundedWalk:
+    def test_respects_bounds(self):
+        ap = Point(0.0, 0.0)
+        scenario = bounded_walk_scenario(
+            Point(20.0, 0.0), ap, min_distance_m=10.0, max_distance_m=30.0, seed=1
+        )
+        trace = scenario.sample(120.0, 0.05)
+        distances = trace.distances_to(ap)
+        assert np.min(distances) > 8.0
+        assert np.max(distances) < 33.0
+
+    def test_is_macro(self):
+        scenario = bounded_walk_scenario(Point(20.0, 0.0), Point(0.0, 0.0), seed=2)
+        assert scenario.mode == MobilityMode.MACRO
+
+    def test_quiet_environment(self):
+        scenario = bounded_walk_scenario(Point(20.0, 0.0), Point(0.0, 0.0), seed=3)
+        assert scenario.environment.is_quiet
+
+
+class TestResultObjects:
+    def test_fig7_result_accessors(self):
+        result = Fig7Result(
+            gain_cdfs={"static": EmpiricalCDF([0.0, 0.0]), "macro-away": EmpiricalCDF([10.0, 20.0])},
+            scheme_cdfs={"default": EmpiricalCDF([10.0]), "controller": EmpiricalCDF([13.0])},
+        )
+        assert result.median_gain("macro-away") == 15.0
+        assert result.median_throughput("controller") == 13.0
+        report = result.format_report()
+        assert "Fig. 7(a)" in report and "Fig. 7(b)" in report
+
+    def test_fig13_result_metrics(self):
+        result = Fig13Result(
+            cdfs={
+                "default": EmpiricalCDF([10.0, 12.0]),
+                "mobility-aware": EmpiricalCDF([15.0, 20.0]),
+            },
+            per_test=[
+                {"default": 10.0, "aware": 15.0},
+                {"default": 12.0, "aware": 20.0},
+                {"default": 11.0, "aware": 10.0},
+            ],
+        )
+        assert result.win_fraction() == pytest.approx(2 / 3)
+        assert result.median_gain_percent() == pytest.approx(50.0)
+        assert "wins 2/3" in result.format_report()
+        assert "CDF" in result.format_plot()

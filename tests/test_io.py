@@ -1,0 +1,271 @@
+"""Tests for trace persistence and the CSI Tool format adapter."""
+
+import numpy as np
+import pytest
+
+from repro.channel.config import ChannelConfig
+from repro.channel.model import LinkChannel
+from repro.core.classifier import MobilityClassifier
+from repro.io.csitool import (
+    N_SUBCARRIERS,
+    CsiRecord,
+    read_csitool_log,
+    records_to_csi_stream,
+    write_csitool_log,
+)
+from repro.io.traces import FORMAT_VERSION, load_trace, save_trace
+from repro.mobility.trajectory import StaticTrajectory
+from repro.testing import synthetic_trace
+from repro.util.geometry import Point
+
+
+class TestTracePersistence:
+    def test_roundtrip_without_csi(self, tmp_path):
+        trace = synthetic_trace(snr_db=lambda t: 20.0 + t, duration_s=3.0)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.snr_db, trace.snr_db)
+        assert loaded.h is None
+
+    def test_roundtrip_with_csi(self, tmp_path):
+        trajectory = StaticTrajectory(Point(10, 5)).sample(2.0, 0.1)
+        link = LinkChannel(Point(0, 0), ChannelConfig(), seed=1)
+        trace = link.evaluate(trajectory.times, trajectory.positions, include_h=True)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.h, trace.h)
+        assert np.array_equal(loaded.effective_snr_db, trace.effective_snr_db)
+
+    def test_version_check(self, tmp_path):
+        trace = synthetic_trace(duration_s=1.0)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        # Corrupt the version field.
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.array(FORMAT_VERSION + 1)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_loaded_trace_usable_by_simulator(self, tmp_path):
+        from repro.mac.aggregation import FrameTransmitter
+        from repro.rate.atheros import AtherosRateAdaptation
+        from repro.rate.simulator import simulate_rate_control
+
+        trace = synthetic_trace(snr_db=25.0, duration_s=3.0)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        result = simulate_rate_control(
+            AtherosRateAdaptation(),
+            loaded,
+            transmitter=FrameTransmitter(seed=2),
+            perturbations=None,
+        )
+        assert result.throughput_mbps > 10.0
+
+
+def _make_record(rng, timestamp=1000, n_tx=2, n_rx=3) -> CsiRecord:
+    csi = np.round(rng.uniform(-120, 120, (N_SUBCARRIERS, n_tx, n_rx))) + 1j * np.round(
+        rng.uniform(-120, 120, (N_SUBCARRIERS, n_tx, n_rx))
+    )
+    return CsiRecord(
+        timestamp_low=timestamp,
+        bfee_count=7,
+        n_rx=n_rx,
+        n_tx=n_tx,
+        rssi_a=40,
+        rssi_b=42,
+        rssi_c=38,
+        noise=-92,
+        agc=30,
+        antenna_sel=0b100100,
+        rate=0x1234,
+        csi=csi,
+    )
+
+
+class TestCsiToolFormat:
+    def test_roundtrip_single_record(self, tmp_path):
+        rng = np.random.default_rng(1)
+        record = _make_record(rng)
+        path = tmp_path / "log.dat"
+        write_csitool_log([record], path)
+        loaded = read_csitool_log(path)
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert got.timestamp_low == record.timestamp_low
+        assert got.n_rx == record.n_rx and got.n_tx == record.n_tx
+        assert got.noise == -92
+        assert got.rate == 0x1234
+        assert np.array_equal(got.csi, record.csi)
+
+    def test_roundtrip_many_records_mixed_antennas(self, tmp_path):
+        rng = np.random.default_rng(2)
+        records = [
+            _make_record(rng, timestamp=1000 * i, n_tx=1 + (i % 3), n_rx=3)
+            for i in range(12)
+        ]
+        path = tmp_path / "log.dat"
+        write_csitool_log(records, path)
+        loaded = read_csitool_log(path)
+        assert len(loaded) == 12
+        for original, got in zip(records, loaded):
+            assert np.array_equal(got.csi, original.csi)
+
+    def test_skips_non_bfee_records(self, tmp_path):
+        rng = np.random.default_rng(3)
+        record = _make_record(rng)
+        path = tmp_path / "log.dat"
+        write_csitool_log([record], path)
+        # Append an unrelated record (code 0xC1) and a second CSI record.
+        import struct
+
+        with open(path, "ab") as handle:
+            junk = b"hello"
+            handle.write(struct.pack(">H", len(junk) + 1))
+            handle.write(bytes([0xC1]))
+            handle.write(junk)
+        write2 = tmp_path / "log2.dat"
+        write_csitool_log([record], write2)
+        with open(path, "ab") as handle:
+            handle.write(write2.read_bytes())
+        loaded = read_csitool_log(path)
+        assert len(loaded) == 2
+
+    def test_tolerates_truncated_tail(self, tmp_path):
+        rng = np.random.default_rng(4)
+        path = tmp_path / "log.dat"
+        write_csitool_log([_make_record(rng)], path)
+        data = path.read_bytes()
+        path.write_bytes(data + b"\x00\xff\xbb\x01")  # truncated header
+        assert len(read_csitool_log(path)) == 1
+
+    def test_permutation_decoding(self):
+        rng = np.random.default_rng(5)
+        record = _make_record(rng)
+        # antenna_sel 0b100100 -> perm (0, 1, 2)
+        assert record.permutation == (0, 1, 2)
+
+    def test_total_rss(self):
+        rng = np.random.default_rng(6)
+        record = _make_record(rng)
+        rss = record.total_rss_dbm()
+        # Three chains around 40 dB-units, minus 44 and AGC 30.
+        assert -40.0 < rss < -20.0
+
+    def test_scaled_csi_preserves_shape_and_profile(self):
+        rng = np.random.default_rng(7)
+        record = _make_record(rng)
+        scaled = record.scaled_csi()
+        assert scaled.shape == record.csi.shape
+        # Scaling is a positive real factor: the gain *profile* (what the
+        # classifier correlates) is unchanged.
+        from repro.core.similarity import csi_similarity
+
+        assert csi_similarity(record.csi, scaled) == pytest.approx(1.0)
+
+
+class TestCsiStream:
+    def test_timestamp_wraparound(self):
+        rng = np.random.default_rng(8)
+        records = [
+            _make_record(rng, timestamp=2**32 - 500_000),
+            _make_record(rng, timestamp=2**32 - 100),
+            _make_record(rng, timestamp=400_000),  # wrapped
+        ]
+        times, matrices = records_to_csi_stream(records)
+        assert len(matrices) == 3
+        assert times[0] == 0.0
+        assert np.all(np.diff(times) > 0)  # monotone despite the wrap
+
+    def test_classifier_consumes_real_format(self, tmp_path):
+        """End-to-end: CSI Tool log -> classifier decisions."""
+        rng = np.random.default_rng(9)
+        base = np.abs(rng.standard_normal((N_SUBCARRIERS, 2, 3))) * 40 + 20
+        records = []
+        for i in range(8):
+            csi = np.round(base + rng.normal(0, 0.5, base.shape)) + 0j
+            records.append(
+                CsiRecord(
+                    timestamp_low=500_000 * i,
+                    bfee_count=i,
+                    n_rx=3,
+                    n_tx=2,
+                    rssi_a=40,
+                    rssi_b=42,
+                    rssi_c=38,
+                    noise=-92,
+                    agc=30,
+                    antenna_sel=0b100100,
+                    rate=0x1234,
+                    csi=csi,
+                )
+            )
+        path = tmp_path / "static.dat"
+        write_csitool_log(records, path)
+        loaded = read_csitool_log(path)
+        times, matrices = records_to_csi_stream(loaded)
+        clf = MobilityClassifier()
+        estimate = None
+        for t, h in zip(times, matrices):
+            estimate = clf.push_csi(float(t), h) or estimate
+        from repro.mobility.modes import MobilityMode
+
+        assert estimate is not None
+        assert estimate.mode == MobilityMode.STATIC  # a stable real-format log
+
+
+class TestMultiApPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.io.traces import load_multi, save_multi
+        from repro.mobility.trajectory import StaticTrajectory
+        from repro.wlan.floorplan import default_office_floorplan
+        from repro.wlan.multilink import MultiApChannel
+        from repro.util.geometry import Point
+
+        trajectory = StaticTrajectory(Point(10, 10)).sample(2.0, 0.05)
+        multi = MultiApChannel(default_office_floorplan(), seed=30).evaluate(
+            trajectory, sample_interval_s=0.2, include_h_for=[0]
+        )
+        path = tmp_path / "walk.npz"
+        save_multi(multi, path)
+        loaded = load_multi(path)
+        assert loaded.floorplan.n_aps == 6
+        assert np.array_equal(loaded.times, multi.times)
+        assert np.array_equal(loaded.traces[0].h, multi.traces[0].h)
+        assert loaded.traces[1].h is None
+        assert np.array_equal(
+            loaded.trajectory.positions, multi.trajectory.positions
+        )
+
+    def test_loaded_bundle_usable_by_roaming(self, tmp_path):
+        from repro.io.traces import load_multi, save_multi
+        from repro.mobility.trajectory import WaypointWalkTrajectory
+        from repro.roaming.schemes import DefaultClientRoaming
+        from repro.roaming.simulator import simulate_roaming
+        from repro.wlan.floorplan import default_office_floorplan
+        from repro.wlan.multilink import MultiApChannel
+        from repro.util.geometry import Point
+
+        trajectory = WaypointWalkTrajectory(
+            Point(5, 5), area=(2, 2, 38, 23), seed=31
+        ).sample(10.0, 0.02)
+        multi = MultiApChannel(default_office_floorplan(), seed=31).evaluate(
+            trajectory, sample_interval_s=0.1
+        )
+        path = tmp_path / "walk.npz"
+        save_multi(multi, path)
+        loaded = load_multi(path)
+        result = simulate_roaming(loaded, DefaultClientRoaming(), seed=32)
+        assert result.mean_throughput_mbps > 0.0
+
+    def test_type_validated(self, tmp_path):
+        from repro.io.traces import save_multi
+
+        with pytest.raises(TypeError):
+            save_multi(object(), tmp_path / "x.npz")

@@ -1,0 +1,207 @@
+"""Unit tests for mobility modes, trajectories, environments, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.environment import EnvironmentActivity, EnvironmentProcess
+from repro.mobility.modes import MODE_ORDER, GroundTruth, Heading, MobilityMode
+from repro.mobility.scenarios import (
+    circular_scenario,
+    environmental_scenario,
+    macro_scenario,
+    micro_scenario,
+    static_scenario,
+)
+from repro.mobility.trajectory import (
+    ApproachRetreatTrajectory,
+    CircularTrajectory,
+    MicroJitterTrajectory,
+    StaticTrajectory,
+    WaypointWalkTrajectory,
+    concatenate_traces,
+)
+from repro.util.geometry import Point
+
+AP = Point(0.0, 0.0)
+CLIENT = Point(10.0, 5.0)
+
+
+class TestModes:
+    def test_device_mobility_flag(self):
+        assert MobilityMode.MICRO.is_device_mobility
+        assert MobilityMode.MACRO.is_device_mobility
+        assert not MobilityMode.STATIC.is_device_mobility
+        assert not MobilityMode.ENVIRONMENTAL.is_device_mobility
+
+    def test_heading_only_for_macro(self):
+        with pytest.raises(ValueError):
+            GroundTruth(MobilityMode.MICRO, Heading.AWAY)
+
+    def test_matches_mode_only(self):
+        gt = GroundTruth(MobilityMode.STATIC)
+        assert gt.matches(MobilityMode.STATIC)
+        assert not gt.matches(MobilityMode.MICRO)
+
+    def test_matches_macro_heading(self):
+        gt = GroundTruth(MobilityMode.MACRO, Heading.AWAY)
+        assert gt.matches(MobilityMode.MACRO, Heading.AWAY)
+        assert not gt.matches(MobilityMode.MACRO, Heading.TOWARDS)
+
+    def test_indeterminate_heading_accepts_any(self):
+        gt = GroundTruth(MobilityMode.MACRO, Heading.NONE)
+        assert gt.matches(MobilityMode.MACRO, Heading.TOWARDS)
+        assert gt.matches(MobilityMode.MACRO, Heading.AWAY)
+
+    def test_mode_order_covers_all(self):
+        assert set(MODE_ORDER) == set(MobilityMode)
+
+
+class TestStaticTrajectory:
+    def test_never_moves(self):
+        trace = StaticTrajectory(CLIENT).sample(5.0, 0.1)
+        assert trace.total_displacement() == 0.0
+        assert np.all(trace.speeds() == 0.0)
+
+    def test_grid_shape(self):
+        trace = StaticTrajectory(CLIENT).sample(2.0, 0.5)
+        assert len(trace) == 4
+        assert trace.dt == pytest.approx(0.5)
+
+
+class TestMicroJitter:
+    def test_confined(self):
+        trajectory = MicroJitterTrajectory(CLIENT, radius=0.5, seed=1)
+        trace = trajectory.sample(60.0, 0.02)
+        assert np.all(trace.distances_to(CLIENT) <= 0.5 + 1e-9)
+
+    def test_actually_moves(self):
+        trace = MicroJitterTrajectory(CLIENT, seed=2).sample(30.0, 0.02)
+        assert np.max(trace.speeds()) > 0.1
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            MicroJitterTrajectory(CLIENT, radius=0.0)
+
+
+class TestWaypointWalk:
+    def test_stays_in_area(self):
+        area = (0.0, 0.0, 20.0, 15.0)
+        trace = WaypointWalkTrajectory(Point(5, 5), area=area, seed=3).sample(60.0, 0.05)
+        assert np.all(trace.positions[:, 0] >= area[0] - 1e-6)
+        assert np.all(trace.positions[:, 0] <= area[2] + 1e-6)
+        assert np.all(trace.positions[:, 1] >= area[1] - 1e-6)
+        assert np.all(trace.positions[:, 1] <= area[3] + 1e-6)
+
+    def test_walking_speed_plausible(self):
+        trace = WaypointWalkTrajectory(Point(5, 5), seed=4).sample(30.0, 0.05)
+        moving = trace.speeds()[trace.speeds() > 0.1]
+        assert 0.5 < np.median(moving) < 2.5
+
+    def test_covers_distance(self):
+        trace = WaypointWalkTrajectory(Point(5, 5), seed=5).sample(30.0, 0.05)
+        steps = np.hypot(np.diff(trace.positions[:, 0]), np.diff(trace.positions[:, 1]))
+        assert np.sum(steps) > 15.0  # walked a substantial path
+
+    def test_invalid_segment_bounds(self):
+        with pytest.raises(ValueError):
+            WaypointWalkTrajectory(Point(0, 0), min_segment_m=5.0, max_segment_m=2.0)
+
+
+class TestApproachRetreat:
+    def test_respects_distance_bounds(self):
+        trajectory = ApproachRetreatTrajectory(
+            AP, Point(20.0, 0.0), min_distance_m=3.0, max_distance_m=30.0, seed=6
+        )
+        trace = trajectory.sample(120.0, 0.05)
+        distances = trace.distances_to(AP)
+        assert np.min(distances) > 1.5  # bounce near the minimum
+        assert np.max(distances) < 33.0
+
+    def test_alternates_direction(self):
+        trajectory = ApproachRetreatTrajectory(AP, Point(20.0, 0.0), leg_duration_s=5.0, seed=7)
+        trace = trajectory.sample(30.0, 0.05)
+        distances = trace.distances_to(AP)
+        trend = np.sign(np.diff(distances))
+        # Both approaching and retreating segments must exist.
+        assert np.any(trend > 0) and np.any(trend < 0)
+
+
+class TestCircular:
+    def test_constant_radius(self):
+        trace = CircularTrajectory(AP, radius=8.0).sample(30.0, 0.05)
+        distances = trace.distances_to(AP)
+        assert np.allclose(distances, 8.0, atol=1e-6)
+
+    def test_moves_at_configured_speed(self):
+        trace = CircularTrajectory(AP, radius=8.0, speed=1.2).sample(10.0, 0.01)
+        assert np.median(trace.speeds()) == pytest.approx(1.2, rel=0.05)
+
+
+class TestConcatenate:
+    def test_concatenation_preserves_dt_and_length(self):
+        a = StaticTrajectory(CLIENT).sample(2.0, 0.1)
+        b = MicroJitterTrajectory(CLIENT, seed=8).sample(3.0, 0.1)
+        joined = concatenate_traces([a, b])
+        assert len(joined) == len(a) + len(b)
+        assert joined.dt == pytest.approx(0.1)
+        assert np.all(np.diff(joined.times) > 0)
+
+    def test_mismatched_dt_rejected(self):
+        a = StaticTrajectory(CLIENT).sample(2.0, 0.1)
+        b = StaticTrajectory(CLIENT).sample(2.0, 0.2)
+        with pytest.raises(ValueError):
+            concatenate_traces([a, b])
+
+
+class TestEnvironment:
+    def test_quiet_levels(self):
+        none = EnvironmentProcess.from_activity(EnvironmentActivity.NONE)
+        assert none.is_quiet
+        strong = EnvironmentProcess.from_activity(EnvironmentActivity.STRONG)
+        assert not strong.is_quiet
+
+    def test_strong_more_intense_than_weak(self):
+        weak = EnvironmentProcess.from_activity(EnvironmentActivity.WEAK)
+        strong = EnvironmentProcess.from_activity(EnvironmentActivity.STRONG)
+        assert strong.affected_path_fraction >= weak.affected_path_fraction
+        assert strong.scatterer_speed > weak.scatterer_speed
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentProcess(EnvironmentActivity.WEAK, 1.5, 1.0, 0.3)
+
+
+class TestScenarios:
+    def test_static_scenario_labels(self):
+        scenario = static_scenario(CLIENT)
+        trace = scenario.sample(5.0, 0.1)
+        truths = scenario.ground_truth(trace, AP)
+        assert all(t.mode == MobilityMode.STATIC for t in truths)
+
+    def test_environmental_scenario_requires_activity(self):
+        with pytest.raises(ValueError):
+            environmental_scenario(CLIENT, EnvironmentActivity.NONE)
+
+    def test_macro_labels_include_both_headings(self):
+        scenario = macro_scenario(CLIENT, anchor=AP, approach_retreat=True, seed=9)
+        trace = scenario.sample(60.0, 0.05)
+        truths = scenario.ground_truth(trace, AP)
+        headings = {t.heading for t in truths}
+        assert Heading.TOWARDS in headings
+        assert Heading.AWAY in headings
+
+    def test_macro_requires_anchor_for_approach_retreat(self):
+        with pytest.raises(ValueError):
+            macro_scenario(CLIENT, approach_retreat=True)
+
+    def test_circular_scenario_is_macro_ground_truth(self):
+        scenario = circular_scenario(AP, radius=8.0)
+        assert scenario.mode == MobilityMode.MACRO
+        trace = scenario.sample(10.0, 0.05)
+        # Tangential motion: distance to the AP never really changes, so
+        # heading labels stay NONE.
+        truths = scenario.ground_truth(trace, AP)
+        assert all(t.heading == Heading.NONE for t in truths)
+
+    def test_micro_scenario_mode(self):
+        assert micro_scenario(CLIENT, seed=1).mode == MobilityMode.MICRO

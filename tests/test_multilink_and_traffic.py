@@ -1,0 +1,109 @@
+"""Additional coverage: multi-AP traces, rssi/snr matrices, TCP corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.channel.config import ChannelConfig
+from repro.mobility.trajectory import StaticTrajectory, WaypointWalkTrajectory
+from repro.util.geometry import Point
+from repro.wlan.floorplan import Floorplan, default_office_floorplan
+from repro.wlan.multilink import MultiApChannel, MultiApTraces
+from repro.wlan.traffic import TcpModel
+
+
+class TestMultiApTraces:
+    def _multi(self, seed=1):
+        trajectory = WaypointWalkTrajectory(
+            Point(10, 10), area=(2, 2, 38, 23), seed=seed
+        ).sample(10.0, 0.05)
+        return MultiApChannel(default_office_floorplan(), seed=seed).evaluate(
+            trajectory, sample_interval_s=0.2
+        )
+
+    def test_matrix_shapes_agree(self):
+        multi = self._multi()
+        n = len(multi.times)
+        assert multi.rssi_matrix().shape == (n, 6)
+        assert multi.snr_matrix().shape == (n, 6)
+
+    def test_snr_is_rssi_minus_noise_floor(self):
+        multi = self._multi(seed=2)
+        noise_floor = ChannelConfig().noise_floor_dbm
+        assert np.allclose(
+            multi.snr_matrix(), multi.rssi_matrix() - noise_floor, atol=1e-9
+        )
+
+    def test_strongest_ap_argmax(self):
+        multi = self._multi(seed=3)
+        rssi = multi.rssi_matrix()
+        for i in (0, len(multi.times) // 2, len(multi.times) - 1):
+            assert multi.strongest_ap(i) == int(np.argmax(rssi[i]))
+
+    def test_trace_count_validation(self):
+        multi = self._multi(seed=4)
+        with pytest.raises(ValueError):
+            MultiApTraces(
+                floorplan=multi.floorplan,
+                trajectory=multi.trajectory,
+                traces=multi.traces[:3],
+            )
+
+    def test_distances_match_geometry(self):
+        floorplan = default_office_floorplan()
+        position = Point(10.0, 10.0)
+        trajectory = StaticTrajectory(position).sample(2.0, 0.05)
+        multi = MultiApChannel(floorplan, seed=5).evaluate(trajectory, 0.2)
+        for ap_index, ap in enumerate(floorplan.ap_positions):
+            expected = np.hypot(position.x - ap.x, position.y - ap.y)
+            assert multi.distances_to_ap(ap_index)[0] == pytest.approx(expected)
+
+    def test_independent_links_have_different_fading(self):
+        multi = self._multi(seed=6)
+        fading = np.stack([t.fading_db for t in multi.traces])
+        # All six links share the trajectory but not the fading realisation.
+        assert len({round(float(f[0]), 6) for f in fading}) == 6
+
+
+class TestTcpCornerCases:
+    def test_all_outage_yields_zero(self):
+        tcp = TcpModel()
+        times = np.arange(0.0, 5.0, 0.1)
+        result = tcp.apply(times, np.zeros_like(times))
+        assert np.all(result == 0.0)
+
+    def test_recovery_time_scales(self):
+        times = np.arange(0.0, 20.0, 0.1)
+        goodput = np.full_like(times, 50.0)
+        goodput[50:55] = 0.0
+        slow = TcpModel(recovery_s=5.0).apply(times, goodput)
+        fast = TcpModel(recovery_s=0.5).apply(times, goodput)
+        # Shortly after the outage, fast recovery has restored more.
+        index = 60  # 0.5 s after the outage end
+        assert fast[index] > slow[index]
+
+    def test_single_point_timeline(self):
+        tcp = TcpModel()
+        result = tcp.apply(np.array([0.0]), np.array([30.0]))
+        assert result.shape == (1,)
+
+    def test_efficiency_bounds(self):
+        with np.errstate(all="raise"):
+            tcp = TcpModel(protocol_efficiency=1.0, recovery_s=1e-9)
+            times = np.arange(0.0, 2.0, 0.1)
+            goodput = np.full_like(times, 10.0)
+            result = tcp.apply(times, goodput)
+        assert np.all(result[1:] == pytest.approx(10.0))
+
+
+class TestFloorplanGeometry:
+    def test_ap_grid_spacing(self):
+        floorplan = default_office_floorplan()
+        xs = sorted({ap.x for ap in floorplan.ap_positions})
+        assert xs == [7.0, 20.0, 33.0]
+
+    def test_custom_floorplan(self):
+        floorplan = Floorplan(
+            ap_positions=(Point(0, 0), Point(10, 0)), bounds=(-5, -5, 15, 5)
+        )
+        assert floorplan.nearest_ap(Point(9, 0)) == 1
+        assert floorplan.nearest_ap(Point(1, 0)) == 0

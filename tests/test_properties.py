@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.similarity import csi_similarity
+from repro.core.tof_trend import ToFTrend, detect_trend
+from repro.mac.aggregation import FrameTransmitter
+from repro.phy.error import ErrorModel, sinr_with_stale_estimate
+from repro.phy.mcs import MCS_TABLE, mcs_by_index
+from repro.util.filters import ExponentialMovingAverage, MedianFilter, MovingWindow
+from repro.util.special import bessel_j0
+from repro.util.stats import EmpiricalCDF
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+gain_vectors = arrays(
+    dtype=float,
+    shape=st.integers(min_value=4, max_value=64),
+    elements=st.floats(min_value=0.01, max_value=10.0),
+)
+
+
+class TestSimilarityProperties:
+    @given(gain_vectors)
+    def test_self_similarity_is_one(self, gains):
+        assume(np.std(gains) > 1e-6)
+        assert csi_similarity(gains, gains) == pytest.approx(1.0)
+
+    @given(gain_vectors, st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_invariance(self, gains, scale):
+        assume(np.std(gains) > 1e-6)
+        assert csi_similarity(gains, gains * scale) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.data())
+    def test_symmetry(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=32))
+        elements = st.floats(min_value=0.01, max_value=10.0)
+        a = np.array(data.draw(st.lists(elements, min_size=n, max_size=n)))
+        b = np.array(data.draw(st.lists(elements, min_size=n, max_size=n)))
+        assert csi_similarity(a, b) == pytest.approx(csi_similarity(b, a))
+
+    @given(st.data())
+    def test_bounded(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=32))
+        elements = st.floats(min_value=0.01, max_value=10.0)
+        a = np.array(data.draw(st.lists(elements, min_size=n, max_size=n)))
+        b = np.array(data.draw(st.lists(elements, min_size=n, max_size=n)))
+        assert -1.0 - 1e-9 <= csi_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestFilterProperties:
+    @given(st.lists(small_floats, min_size=1, max_size=100), st.floats(min_value=0.01, max_value=1.0))
+    def test_ewma_stays_within_sample_range(self, samples, alpha):
+        ewma = ExponentialMovingAverage(alpha)
+        for sample in samples:
+            ewma.update(sample)
+        assert min(samples) - 1e-9 <= ewma.value <= max(samples) + 1e-9
+
+    @given(st.lists(small_floats, min_size=1, max_size=50), st.integers(min_value=1, max_value=10))
+    def test_window_median_within_range(self, samples, capacity):
+        window = MovingWindow(capacity)
+        window.extend(samples)
+        kept = samples[-capacity:]
+        assert min(kept) <= window.median() <= max(kept)
+
+    @given(st.lists(small_floats, min_size=1, max_size=60), st.integers(min_value=1, max_value=12))
+    def test_median_filter_emission_count(self, samples, batch):
+        median = MedianFilter(batch)
+        emitted = sum(1 for s in samples if median.push(s) is not None)
+        assert emitted == len(samples) // batch
+
+    @given(st.lists(small_floats, min_size=2, max_size=60))
+    def test_cdf_percentiles_ordered(self, samples):
+        cdf = EmpiricalCDF(samples)
+        assert cdf.percentile(10) <= cdf.percentile(50) <= cdf.percentile(90)
+
+
+class TestTrendProperties:
+    @given(st.lists(small_floats, min_size=2, max_size=10))
+    def test_trend_is_antisymmetric(self, medians):
+        up = detect_trend(medians, 0.5, 1.0)
+        down = detect_trend([-m for m in medians], 0.5, 1.0)
+        flipped = {
+            ToFTrend.INCREASING: ToFTrend.DECREASING,
+            ToFTrend.DECREASING: ToFTrend.INCREASING,
+            ToFTrend.NONE: ToFTrend.NONE,
+        }
+        assert down == flipped[up]
+
+    @given(st.lists(small_floats, min_size=2, max_size=10), small_floats)
+    def test_trend_is_offset_invariant(self, medians, offset):
+        a = detect_trend(medians, 0.5, 1.0)
+        b = detect_trend([m + offset for m in medians], 0.5, 1.0)
+        assert a == b
+
+    @given(
+        st.floats(min_value=1.05, max_value=50.0),
+        st.integers(min_value=3, max_value=8),
+    )
+    def test_clean_ramp_always_detected(self, net, n):
+        medians = list(np.linspace(0.0, net, n))
+        assert detect_trend(medians, 0.5, 1.0) == ToFTrend.INCREASING
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    def test_small_net_never_trends(self, net):
+        medians = [0.0, net / 3, 2 * net / 3, net]
+        assert detect_trend(medians, 1.0, 1.0) == ToFTrend.NONE
+
+
+class TestErrorModelProperties:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=-10.0, max_value=50.0),
+    )
+    def test_per_is_probability(self, mcs, snr):
+        per = ErrorModel().per(mcs, snr)
+        assert 0.0 <= per <= 1.0
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=-10.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_per_monotone_in_snr(self, mcs, snr, delta):
+        model = ErrorModel()
+        assert model.per(mcs, snr + delta) <= model.per(mcs, snr) + 1e-12
+
+    @given(
+        st.floats(min_value=-10.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_stale_sinr_never_exceeds_snr(self, snr, rho):
+        assert sinr_with_stale_estimate(snr, rho) <= snr + 1e-9
+
+    @given(st.floats(min_value=-5.0, max_value=45.0))
+    def test_best_mcs_goodput_dominates_all(self, snr):
+        model = ErrorModel()
+        best = model.best_mcs(snr)
+        best_goodput = mcs_by_index(best).rate_mbps(40e6) * (1.0 - model.per(best, snr))
+        for m in MCS_TABLE:
+            goodput = m.rate_mbps(40e6) * (1.0 - model.per(m, snr))
+            assert best_goodput >= goodput - 1e-9
+
+
+class TestMacProperties:
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=0.0, max_value=45.0),
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=0.001, max_value=0.010),
+    )
+    def test_transmit_invariants(self, mcs, snr, doppler, agg_time):
+        transmitter = FrameTransmitter(seed=1)
+        result = transmitter.transmit(mcs, snr, doppler, agg_time)
+        assert 1 <= result.n_mpdus <= 64
+        assert 0 <= result.n_delivered <= result.n_mpdus
+        assert result.airtime_s > agg_time * 0.0  # positive
+        assert result.block_ack_received == (result.n_delivered > 0)
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=0.001, max_value=0.010),
+    )
+    def test_goodput_bounded_by_phy_rate(self, mcs, agg_time):
+        transmitter = FrameTransmitter(seed=2)
+        goodput = transmitter.expected_goodput_mbps(mcs, 50.0, 0.0, agg_time)
+        assert goodput <= mcs_by_index(mcs).rate_mbps(40e6)
+
+
+class TestBesselProperties:
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_j0_bounded(self, x):
+        assert abs(bessel_j0(x)) <= 1.0 + 1e-7
+
+    @given(st.floats(min_value=2.5, max_value=50.0))
+    def test_j0_decaying_envelope(self, x):
+        # |J0(x)| <= sqrt(2/(pi x)) * 1.1 for x beyond the first zero.
+        assert abs(bessel_j0(x)) <= math.sqrt(2.0 / (math.pi * x)) * 1.1

@@ -1,0 +1,131 @@
+"""Property-based tests for IO formats and additional invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aoa_extension import estimate_aoa
+from repro.io.csitool import N_SUBCARRIERS, CsiRecord, read_csitool_log, write_csitool_log
+from repro.io.traces import load_trace, save_trace
+from repro.testing import synthetic_trace
+from repro.util.textplot import render_bars, render_cdf
+from repro.util.stats import EmpiricalCDF
+
+component = st.integers(min_value=-127, max_value=127)
+
+
+@st.composite
+def csi_records(draw):
+    n_tx = draw(st.integers(min_value=1, max_value=3))
+    n_rx = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    csi = rng.integers(-127, 128, (N_SUBCARRIERS, n_tx, n_rx)) + 1j * rng.integers(
+        -127, 128, (N_SUBCARRIERS, n_tx, n_rx)
+    )
+    return CsiRecord(
+        timestamp_low=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        bfee_count=draw(st.integers(min_value=0, max_value=2**16 - 1)),
+        n_rx=n_rx,
+        n_tx=n_tx,
+        rssi_a=draw(st.integers(min_value=0, max_value=100)),
+        rssi_b=draw(st.integers(min_value=0, max_value=100)),
+        rssi_c=draw(st.integers(min_value=0, max_value=100)),
+        noise=draw(st.integers(min_value=-127, max_value=0)),
+        agc=draw(st.integers(min_value=0, max_value=60)),
+        antenna_sel=draw(st.integers(min_value=0, max_value=63)),
+        rate=draw(st.integers(min_value=0, max_value=2**16 - 1)),
+        csi=csi.astype(complex),
+    )
+
+
+class TestCsiToolRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(record=csi_records())
+    def test_roundtrip_preserves_everything(self, record):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "log.dat"
+            self._check(record, path)
+
+    @staticmethod
+    def _check(record, path):
+        write_csitool_log([record], path)
+        loaded = read_csitool_log(path)
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert got.timestamp_low == record.timestamp_low
+        assert got.bfee_count == record.bfee_count
+        assert (got.rssi_a, got.rssi_b, got.rssi_c) == (
+            record.rssi_a,
+            record.rssi_b,
+            record.rssi_c,
+        )
+        assert got.noise == record.noise
+        assert got.agc == record.agc
+        assert got.antenna_sel == record.antenna_sel
+        assert got.rate == record.rate
+        assert np.array_equal(got.csi, record.csi)
+
+
+class TestTraceRoundTrip:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        snr=st.floats(min_value=-10.0, max_value=45.0),
+        duration=st.floats(min_value=0.5, max_value=5.0),
+    )
+    def test_save_load_identity(self, snr, duration):
+        import tempfile
+        from pathlib import Path
+
+        trace = synthetic_trace(snr_db=snr, duration_s=duration)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.npz"
+            self._check(trace, path)
+
+    @staticmethod
+    def _check(trace, path):
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.snr_db, trace.snr_db)
+        assert np.array_equal(loaded.doppler_hz, trace.doppler_hz)
+
+
+class TestAoAProperties:
+    @settings(max_examples=40)
+    @given(
+        st.floats(min_value=-1.2, max_value=1.2),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=-3.1, max_value=3.1),
+    )
+    def test_estimate_invariant_to_gain_and_phase(self, angle, n, gain, phase):
+        m = np.arange(n)
+        h = gain * np.exp(1j * phase) * np.exp(-1j * np.pi * m * np.sin(angle))
+        assert estimate_aoa(h) == pytest.approx(angle, abs=1e-6)
+
+
+class TestPlotProperties:
+    @settings(max_examples=20)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50))
+    def test_cdf_render_never_crashes(self, samples):
+        chart = render_cdf({"s": EmpiricalCDF(samples)})
+        assert "s" in chart
+
+    @settings(max_examples=20)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=6),
+            st.floats(min_value=0.0, max_value=1000.0),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_bars_contain_every_label(self, values):
+        chart = render_bars(values)
+        for name in values:
+            assert name in chart

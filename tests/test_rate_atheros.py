@@ -1,0 +1,175 @@
+"""Unit tests for the Atheros RA engine and its mobility-aware wrapper."""
+
+import pytest
+
+from repro.core.hints import MobilityEstimate
+from repro.core.policy import default_policy_table
+from repro.mac.aggregation import AggregatedFrameResult
+from repro.mobility.modes import Heading, MobilityMode
+from repro.rate.atheros import (
+    DOWN_PER_THRESHOLD,
+    MAX_DOWN_STEPS_PER_FAILURE_RUN,
+    AtherosRateAdaptation,
+)
+from repro.rate.mobility_aware import MobilityAwareAtherosRA
+
+
+def frame(mcs, delivered, total=32):
+    return AggregatedFrameResult(
+        mcs_index=mcs,
+        n_mpdus=total,
+        n_delivered=delivered,
+        airtime_s=0.004,
+        mpdu_payload_bytes=1500,
+        block_ack_received=delivered > 0,
+    )
+
+
+class TestAtheros:
+    def test_starts_at_highest_rate(self):
+        ra = AtherosRateAdaptation()
+        assert ra.select(0.0) == ra.ladder[-1]
+
+    def test_steps_down_on_block_ack_miss(self):
+        ra = AtherosRateAdaptation(retries_before_down=0)
+        top = ra.current_mcs
+        ra.observe(0.0, frame(top, 0))
+        assert ra.current_mcs == ra.ladder[-2]
+
+    def test_retries_ride_out_transient_loss(self):
+        """The paper's Section 4.2 mechanism."""
+        ra = AtherosRateAdaptation(retries_before_down=2)
+        top = ra.current_mcs
+        ra.observe(0.0, frame(top, 0))
+        ra.observe(0.004, frame(top, 0))
+        assert ra.current_mcs == top  # still retrying
+        ra.observe(0.008, frame(top, 0))
+        assert ra.current_mcs == ra.ladder[-2]  # third failure steps down
+
+    def test_success_resets_retry_count(self):
+        ra = AtherosRateAdaptation(retries_before_down=1)
+        top = ra.current_mcs
+        ra.observe(0.0, frame(top, 0))
+        ra.observe(0.004, frame(top, 32))  # success clears the run
+        ra.observe(0.008, frame(top, 0))
+        assert ra.current_mcs == top  # one failure again tolerated
+
+    def test_failure_run_ratchet_capped(self):
+        """A 30 ms interference burst (~10 frames) cannot reach the floor."""
+        ra = AtherosRateAdaptation(retries_before_down=0)
+        start_position = ra.position
+        for i in range(10):
+            ra.observe(0.004 * i, frame(ra.current_mcs, 0))
+        assert start_position - ra.position == MAX_DOWN_STEPS_PER_FAILURE_RUN
+
+    def test_persistent_failure_still_escapes(self):
+        """A genuinely dead rate region is escaped via the slow crawl."""
+        ra = AtherosRateAdaptation(retries_before_down=0)
+        for i in range(200):
+            ra.observe(0.004 * i, frame(ra.current_mcs, 0))
+        assert ra.position == 0
+
+    def test_high_per_steps_down(self):
+        ra = AtherosRateAdaptation(alpha=1.0)  # no smoothing: react at once
+        top = ra.current_mcs
+        bad = int(32 * (1 - DOWN_PER_THRESHOLD) - 1)
+        ra.observe(0.0, frame(top, bad))
+        assert ra.current_mcs == ra.ladder[-2]
+
+    def test_per_ewma_uses_alpha(self):
+        ra = AtherosRateAdaptation(alpha=0.5)
+        mcs = ra.current_mcs
+        ra.observe(0.0, frame(mcs, 16))  # instantaneous PER 0.5
+        assert ra.per_estimate(mcs) == pytest.approx(0.25)
+
+    def test_monotonicity_propagates_upward(self):
+        ra = AtherosRateAdaptation(alpha=1.0)
+        low = ra.ladder[2]
+        ra.observe(0.0, frame(low, 16))  # PER 0.5 at a low rate
+        for higher in ra.ladder[3:]:
+            assert ra.per_estimate(higher) >= 0.5
+
+    def test_monotonicity_propagates_downward(self):
+        ra = AtherosRateAdaptation(alpha=1.0)
+        high = ra.ladder[-1]
+        # Perfect delivery at the top rate pulls lower rates' PER to 0.
+        ra.observe(0.0, frame(high, 32))
+        for lower in ra.ladder[:-1]:
+            assert ra.per_estimate(lower) == 0.0
+
+    def test_probes_after_interval(self):
+        ra = AtherosRateAdaptation(probe_interval_s=0.1)
+        ra.set_position(3)
+        assert ra.select(0.05) == ra.ladder[3]  # too early
+        probe = ra.select(0.15)
+        assert probe == ra.ladder[4]
+
+    def test_successful_probe_moves_up(self):
+        ra = AtherosRateAdaptation(probe_interval_s=0.1)
+        ra.set_position(3)
+        probe = ra.select(0.2)
+        ra.observe(0.2, frame(probe, 32))
+        assert ra.position == 4
+
+    def test_failed_probe_stays(self):
+        ra = AtherosRateAdaptation(probe_interval_s=0.1)
+        ra.set_position(3)
+        probe = ra.select(0.2)
+        ra.observe(0.2, frame(probe, 0))
+        assert ra.position == 3
+
+    def test_no_probe_beyond_top(self):
+        ra = AtherosRateAdaptation(probe_interval_s=0.01)
+        assert ra.select(10.0) == ra.ladder[-1]
+
+    def test_reset(self):
+        ra = AtherosRateAdaptation()
+        ra.observe(0.0, frame(ra.current_mcs, 0))
+        ra.reset()
+        assert ra.current_mcs == ra.ladder[-1]
+        assert ra.per_estimate(ra.ladder[-1]) == 0.0
+
+    def test_expected_throughput_objective(self):
+        ra = AtherosRateAdaptation(alpha=1.0)
+        mcs = ra.ladder[-1]
+        ra.observe(0.0, frame(mcs, 16))
+        assert ra.expected_throughput_mbps(mcs) == pytest.approx(270.0 * 0.5)
+
+
+class TestMobilityAware:
+    def _estimate(self, mode, heading=Heading.NONE):
+        return MobilityEstimate(0.0, mode, heading, tof_window_full=True)
+
+    def test_hint_applies_policy(self):
+        ra = MobilityAwareAtherosRA()
+        table = default_policy_table()
+        ra.update_hint(self._estimate(MobilityMode.STATIC))
+        policy = table.lookup(MobilityMode.STATIC)
+        assert ra.inner.alpha == policy.per_smoothing_factor
+        assert ra.inner.retries_before_down == policy.rate_retries
+        assert ra.inner.probe_interval_s == pytest.approx(policy.probe_interval_ms / 1000)
+
+    def test_moving_away_reacts_immediately(self):
+        ra = MobilityAwareAtherosRA()
+        ra.update_hint(self._estimate(MobilityMode.MACRO, Heading.AWAY))
+        top = ra.select(0.0)
+        ra.observe(0.0, frame(top, 0))
+        assert ra.inner.position == len(ra.inner.ladder) - 2
+
+    def test_micro_rides_out_one_loss(self):
+        ra = MobilityAwareAtherosRA()
+        ra.update_hint(self._estimate(MobilityMode.MICRO))
+        top = ra.select(0.0)
+        ra.observe(0.0, frame(top, 0))
+        assert ra.inner.position == len(ra.inner.ladder) - 1  # retried
+
+    def test_towards_probes_aggressively(self):
+        ra = MobilityAwareAtherosRA()
+        ra.update_hint(self._estimate(MobilityMode.MACRO, Heading.TOWARDS))
+        assert ra.inner.probe_interval_s <= 0.05
+
+    def test_reset_clears_hint(self):
+        ra = MobilityAwareAtherosRA()
+        ra.update_hint(self._estimate(MobilityMode.MICRO))
+        ra.reset()
+        assert ra.current_estimate is None

@@ -1,0 +1,80 @@
+"""Tests for the Section-9 uplink extension."""
+
+import pytest
+
+from repro.aggregation.policy import MobilityAwareAggregation
+from repro.core.hints import MobilityEstimate
+from repro.mac.aggregation import FrameTransmitter
+from repro.mobility.modes import Heading, MobilityMode
+from repro.rate.atheros import AtherosRateAdaptation
+from repro.rate.mobility_aware import MobilityAwareAtherosRA
+from repro.testing import synthetic_trace
+from repro.wlan.uplink import delay_hints, simulate_uplink
+
+
+def _hints():
+    return [
+        MobilityEstimate(1.0, MobilityMode.MICRO),
+        MobilityEstimate(5.0, MobilityMode.MACRO, Heading.TOWARDS, tof_window_full=True),
+    ]
+
+
+class TestDelayHints:
+    def test_shifts_times(self):
+        delayed = delay_hints(_hints(), 0.2)
+        assert [h.time_s for h in delayed] == [1.2, 5.2]
+        # Content preserved.
+        assert delayed[1].heading == Heading.TOWARDS
+
+    def test_originals_untouched(self):
+        hints = _hints()
+        delay_hints(hints, 1.0)
+        assert hints[0].time_s == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            delay_hints(_hints(), -0.1)
+
+
+class TestSimulateUplink:
+    def test_produces_throughput(self):
+        trace = synthetic_trace(snr_db=25.0, duration_s=8.0)
+        result = simulate_uplink(
+            AtherosRateAdaptation(),
+            trace,
+            transmitter=FrameTransmitter(seed=1),
+        )
+        assert result.throughput_mbps > 10.0
+
+    def test_mobility_aware_uplink_beats_stock(self):
+        """Client-side RA + aggregation with AP hints (the Section-9 point)."""
+        trace = synthetic_trace(snr_db=24.0, duration_s=30.0, doppler_hz=23.0)
+        hints = [
+            MobilityEstimate(
+                0.5, MobilityMode.MACRO, Heading.TOWARDS, tof_window_full=True
+            )
+        ]
+        stock = simulate_uplink(
+            AtherosRateAdaptation(),
+            trace,
+            transmitter=FrameTransmitter(seed=2),
+        )
+        aware = simulate_uplink(
+            MobilityAwareAtherosRA(),
+            trace,
+            aggregation=MobilityAwareAggregation(),
+            hints=hints,
+            transmitter=FrameTransmitter(seed=2),
+        )
+        assert aware.throughput_mbps > stock.throughput_mbps
+
+    def test_hint_delay_recorded(self):
+        trace = synthetic_trace(duration_s=2.0)
+        result = simulate_uplink(
+            AtherosRateAdaptation(),
+            trace,
+            hints=_hints(),
+            hint_delay_s=0.123,
+            transmitter=FrameTransmitter(seed=3),
+        )
+        assert result.hint_delay_s == 0.123

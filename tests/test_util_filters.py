@@ -1,0 +1,159 @@
+"""Unit tests for the streaming filters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.filters import (
+    ExponentialMovingAverage,
+    MedianFilter,
+    MovingWindow,
+    SlidingStatistics,
+)
+
+
+class TestExponentialMovingAverage:
+    def test_first_sample_initialises(self):
+        ewma = ExponentialMovingAverage(alpha=0.125)
+        assert ewma.value is None
+        assert ewma.update(4.0) == 4.0
+
+    def test_matches_paper_equation(self):
+        # Eq. 2: avg = alpha * new + (1 - alpha) * avg
+        ewma = ExponentialMovingAverage(alpha=0.25, initial=0.8)
+        assert ewma.update(0.0) == pytest.approx(0.6)
+        assert ewma.update(1.0) == pytest.approx(0.25 + 0.75 * 0.6)
+
+    def test_larger_alpha_forgets_faster(self):
+        slow = ExponentialMovingAverage(alpha=1 / 16, initial=1.0)
+        fast = ExponentialMovingAverage(alpha=1 / 2, initial=1.0)
+        for _ in range(4):
+            slow.update(0.0)
+            fast.update(0.0)
+        assert fast.value < slow.value
+
+    def test_alpha_one_tracks_instantaneously(self):
+        ewma = ExponentialMovingAverage(alpha=1.0, initial=5.0)
+        assert ewma.update(2.5) == 2.5
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=1.5)
+
+    def test_non_finite_sample_rejected(self):
+        ewma = ExponentialMovingAverage(alpha=0.5)
+        with pytest.raises(ValueError):
+            ewma.update(math.nan)
+
+    def test_set_alpha_keeps_value(self):
+        ewma = ExponentialMovingAverage(alpha=0.5, initial=3.0)
+        ewma.set_alpha(0.1)
+        assert ewma.value == 3.0
+        assert ewma.alpha == 0.1
+
+    def test_reset(self):
+        ewma = ExponentialMovingAverage(alpha=0.5, initial=3.0)
+        ewma.reset()
+        assert ewma.value is None
+
+
+class TestMovingWindow:
+    def test_capacity_enforced(self):
+        window = MovingWindow(3)
+        window.extend([1, 2, 3, 4])
+        assert window.values() == [2.0, 3.0, 4.0]
+
+    def test_full_flag(self):
+        window = MovingWindow(2)
+        assert not window.full
+        window.push(1.0)
+        assert not window.full
+        window.push(2.0)
+        assert window.full
+
+    def test_statistics(self):
+        window = MovingWindow(5)
+        window.extend([1, 2, 3, 4, 5])
+        assert window.mean() == 3.0
+        assert window.median() == 3.0
+        assert window.std() == pytest.approx(np.std([1, 2, 3, 4, 5]))
+
+    def test_empty_statistics_raise(self):
+        window = MovingWindow(3)
+        with pytest.raises(ValueError):
+            window.mean()
+
+    def test_strictly_increasing(self):
+        window = MovingWindow(4)
+        window.extend([1, 2, 3, 4])
+        assert window.is_strictly_increasing()
+        assert not window.is_strictly_decreasing()
+
+    def test_plateau_is_not_strictly_monotone(self):
+        window = MovingWindow(3)
+        window.extend([1, 1, 2])
+        assert not window.is_strictly_increasing()
+
+    def test_single_sample_has_no_trend(self):
+        window = MovingWindow(3)
+        window.push(1.0)
+        assert not window.is_strictly_increasing()
+        assert not window.is_strictly_decreasing()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MovingWindow(0)
+
+
+class TestMedianFilter:
+    def test_emits_median_when_batch_full(self):
+        median = MedianFilter(3)
+        assert median.push(5.0) is None
+        assert median.push(100.0) is None
+        assert median.push(6.0) == 6.0
+
+    def test_robust_to_outliers(self):
+        median = MedianFilter(5)
+        for value in (10.0, 10.0, 500.0, 10.0):
+            assert median.push(value) is None
+        assert median.push(10.0) == 10.0
+
+    def test_batches_are_independent(self):
+        median = MedianFilter(2)
+        assert median.push(1.0) is None
+        assert median.push(3.0) == 2.0
+        assert median.push(10.0) is None
+        assert median.push(20.0) == 15.0
+
+    def test_flush_partial_batch(self):
+        median = MedianFilter(10)
+        median.push(4.0)
+        median.push(8.0)
+        assert median.flush() == 6.0
+        assert median.flush() is None
+
+    def test_pending_count(self):
+        median = MedianFilter(3)
+        median.push(1.0)
+        assert median.pending == 1
+        median.reset()
+        assert median.pending == 0
+
+
+class TestSlidingStatistics:
+    def test_windowed_std(self):
+        stats = SlidingStatistics(3)
+        for value in (0.0, 0.0, 10.0, 10.0, 10.0):
+            stats.push(value)
+        assert stats.std() == 0.0  # the last three samples are constant
+
+    def test_ready_and_full(self):
+        stats = SlidingStatistics(2)
+        assert not stats.ready
+        stats.push(1.0)
+        assert stats.ready and not stats.full
+        stats.push(2.0)
+        assert stats.full
