@@ -12,12 +12,13 @@ import pytest
 
 from repro.beamforming.precoding import mrt_weights, zero_forcing_weights
 from repro.channel.config import ChannelConfig
-from repro.channel.model import LinkChannel
+from repro.channel.model import LinkChannel, MultiLinkChannel
 from repro.core.classifier import MobilityClassifier
 from repro.core.similarity import csi_similarity, csi_similarity_series
 from repro.core.tof_trend import ToFTrendDetector
 from repro.mac.aggregation import FrameTransmitter
 from repro.mobility.trajectory import WaypointWalkTrajectory
+from repro.sim import Session, SimulationEngine
 from repro.util.geometry import Point
 
 
@@ -101,3 +102,55 @@ def test_perf_zero_forcing(benchmark):
     h_users = rng.standard_normal((3, 13, 3)) + 1j * rng.standard_normal((3, 13, 3))
     weights = benchmark(zero_forcing_weights, h_users)
     assert weights.shape == (3, 13, 3)
+
+
+class _StepCountingSession(Session):
+    """Cheapest possible session: the benchmark isolates engine+channel cost."""
+
+    def __init__(self, index, trace):
+        self.client = f"client-{index}"
+        self.trace = trace
+        self.steps = 0
+
+    def transmit(self, clock):
+        self.steps += 1
+
+    def finish(self):
+        return self.steps
+
+
+@pytest.mark.parametrize("n_clients", [1, 8, 32])
+def test_perf_engine_multi_client_scaling(benchmark, n_clients):
+    """Engine step cost while serving N clients on one shared grid.
+
+    With more than one client the channel must be evaluated through the
+    batched :meth:`MultiLinkChannel.evaluate_many` kernel — one fused call,
+    not N scalar per-link loops — which the call accounting asserts.
+    """
+    trajectories = [
+        WaypointWalkTrajectory(Point(5.0 + i, 5.0), area=(-40, -40, 40, 40), seed=10 + i).sample(
+            5.0, 0.05
+        )
+        for i in range(n_clients)
+    ]
+
+    def run():
+        channel = MultiLinkChannel.for_clients(Point(0, 0), n_clients, ChannelConfig(), seed=9)
+        engine = SimulationEngine.for_clients(
+            channel, trajectories, _StepCountingSession, sample_interval_s=0.1
+        )
+        return channel, engine.run()
+
+    channel, results = benchmark(run)
+    assert len(results) == n_clients
+    assert all(steps == len(trajectories[0].times[::2]) for steps in results.values())
+    if n_clients > 1:
+        # Batched path: one evaluate_many sweep across all clients, and the
+        # scalar per-link entry point never ran.
+        assert channel.n_batched_calls == 1
+        assert channel.last_batch_size == n_clients
+        assert sum(link.n_evaluate_calls for link in channel.links) == 0
+    else:
+        # A single client short-circuits to the scalar link evaluation.
+        assert channel.n_calls == 0
+        assert channel.links[0].n_evaluate_calls == 1

@@ -11,12 +11,12 @@ Run:  python examples/overall_stack_demo.py
 
 from collections import Counter
 
-from repro import Point
+from repro import Point, SimulationEngine, TimeGrid
 from repro.experiments.fig13_overall import OVERALL_CHANNEL
 from repro.mobility.scenarios import macro_scenario
 from repro.wlan.floorplan import default_office_floorplan
 from repro.wlan.multilink import MultiApChannel
-from repro.wlan.stack import default_stack, mobility_aware_stack, simulate_stack
+from repro.wlan.stack import StackSession, default_stack, mobility_aware_stack
 
 WALK_SECONDS = 60.0
 
@@ -30,8 +30,12 @@ def main() -> None:
         trajectory, sample_interval_s=0.1, include_h=True
     )
 
-    aware = simulate_stack(multi, mobility_aware_stack(), seed=7)
-    default = simulate_stack(multi, default_stack(), seed=7)
+    # Both stacks co-run as sessions of one engine on the identical walk.
+    engine = SimulationEngine(TimeGrid(multi.times))
+    engine.add(StackSession(multi, mobility_aware_stack(), seed=7, client="mobility-aware"))
+    engine.add(StackSession(multi, default_stack(), seed=7, client="default"))
+    results = engine.run()
+    aware, default = results["mobility-aware"], results["default"]
 
     print(f"\n{'stack':<16}{'UDP Mbps':>10}{'handoffs':>10}{'scans':>8}{'CSI fb':>8}")
     for name, result in (("mobility-aware", aware), ("default", default)):

@@ -11,16 +11,25 @@ Run:  python examples/scheduler_demo.py
 
 from repro.core.hints import MobilityEstimate
 from repro.mobility.modes import Heading, MobilityMode
+from repro.sim import SimulationEngine, TimeGrid
 from repro.testing import synthetic_trace
 from repro.util.textplot import render_bars
 from repro.wlan.scheduler import (
     MobilityAwareScheduler,
     ProportionalFairScheduler,
     RoundRobinScheduler,
-    simulate_scheduling,
+    SchedulingSession,
 )
 
 DURATION_S = 20.0
+
+
+def run_scheduler(scheduler, traces, hints):
+    """One AP session on the shared grid, driven by the engine."""
+    session = SchedulingSession(scheduler, traces, hints=hints, transmitter_seed=3)
+    engine = SimulationEngine(TimeGrid(traces[0].times))
+    engine.add(session)
+    return engine.run()[session.client]
 
 
 def main() -> None:
@@ -46,7 +55,7 @@ def main() -> None:
         (ProportionalFairScheduler(), None),
         (MobilityAwareScheduler(), hints),
     ):
-        result = simulate_scheduling(scheduler, traces, hints=use_hints, transmitter_seed=3)
+        result = run_scheduler(scheduler, traces, use_hints)
         per_client = "  ".join(
             f"{name}={rate:.1f}" for name, rate in zip(clients, result.per_client_mbps)
         )
@@ -55,7 +64,7 @@ def main() -> None:
             f"{result.fairness_index:>10.3f}   {per_client}"
         )
 
-    aware = simulate_scheduling(MobilityAwareScheduler(), traces, hints=hints, transmitter_seed=3)
+    aware = run_scheduler(MobilityAwareScheduler(), traces, hints)
     print()
     print(
         render_bars(

@@ -10,6 +10,8 @@ The public API in one breath::
         MobilityClassifier,          # the paper's CSI+ToF classifier (Fig. 5)
         csi_similarity,              # Eq. 1
         LinkChannel, ChannelConfig,  # the wireless substrate
+        MultiLinkChannel,            # batched multi-client evaluation
+        SimulationEngine, Session,   # the unified protocol loop
         MobilityMode, Heading,
     )
 
@@ -17,7 +19,7 @@ See ``examples/quickstart.py`` for a runnable tour, ``DESIGN.md`` for the
 system inventory, and ``EXPERIMENTS.md`` for paper-vs-measured results.
 """
 
-from repro.channel import ChannelConfig, ChannelTrace, LinkChannel
+from repro.channel import ChannelConfig, ChannelTrace, LinkChannel, MultiLinkChannel
 from repro.core import (
     ClassifierConfig,
     MobilityClassifier,
@@ -34,9 +36,10 @@ from repro.mobility import (
     MobilityMode,
     MobilityScenario,
 )
+from repro.sim import Session, SessionError, SimulationEngine, TimeGrid
 from repro.util.geometry import Point
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChannelConfig",
@@ -51,8 +54,13 @@ __all__ = [
     "MobilityMode",
     "MobilityPolicy",
     "MobilityScenario",
+    "MultiLinkChannel",
     "Point",
     "PolicyTable",
+    "Session",
+    "SessionError",
+    "SimulationEngine",
+    "TimeGrid",
     "csi_similarity",
     "default_policy_table",
     "__version__",

@@ -17,7 +17,13 @@ sum-of-paths simulator:
 """
 
 from repro.channel.config import ChannelConfig
-from repro.channel.model import ChannelTrace, CSISample, LinkChannel, LinkQualityTrace
+from repro.channel.model import (
+    ChannelTrace,
+    CSISample,
+    LinkChannel,
+    LinkQualityTrace,
+    MultiLinkChannel,
+)
 from repro.channel.paths import PathSet
 from repro.channel.propagation import ShadowingProcess, path_loss_db
 
@@ -27,6 +33,7 @@ __all__ = [
     "ChannelTrace",
     "LinkChannel",
     "LinkQualityTrace",
+    "MultiLinkChannel",
     "PathSet",
     "ShadowingProcess",
     "path_loss_db",

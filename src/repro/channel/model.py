@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -143,6 +143,165 @@ class ChannelTrace:
 LinkQualityTrace = ChannelTrace
 
 
+@dataclass
+class _LinkEvalPlan:
+    """Everything the ray-sum kernel needs for one link, precomputed.
+
+    Splitting :meth:`LinkChannel.evaluate` into prepare → ray-sum → finish
+    lets :class:`MultiLinkChannel` fuse the (dominant) ray-sum stage of many
+    links into one batched kernel while each link keeps its own stochastic
+    state evolution.
+    """
+
+    times: np.ndarray
+    distances: np.ndarray  # (N,)
+    speeds: np.ndarray  # (N,)
+    shadowing_db: np.ndarray  # (N,)
+    blockage_db: np.ndarray  # (N,)
+    ray_phasors: np.ndarray  # (N, P) complex
+    freq_nlos: np.ndarray  # (P-1, K)
+    freq_los: np.ndarray  # (N, K)
+    tx_nlos: np.ndarray  # (P-1, T)
+    rx_nlos: np.ndarray  # (P-1, R)
+    tx_los: np.ndarray  # (N, T)
+    rx_los: np.ndarray  # (N, R)
+
+    @property
+    def n(self) -> int:
+        return len(self.times)
+
+    @property
+    def k_count(self) -> int:
+        return self.freq_nlos.shape[1]
+
+
+def _raysum_link(
+    plan: _LinkEvalPlan, n_tx: int, n_rx: int, include_h: bool, chunk_size: int
+):
+    """Scalar (one-link) ray-sum kernel.
+
+    This is the historical per-link computation, kept operation-for-
+    operation identical so existing seeded results stay bit-exact.
+    """
+    n = plan.n
+    fading = np.empty(n)
+    selective = np.empty(n)
+    condition_db = np.empty(n)
+    h_store = (
+        np.empty((n, plan.k_count, n_tx, n_rx), dtype=np.complex64) if include_h else None
+    )
+
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        h_nlos = np.einsum(
+            "np,pk,pt,pr->nktr",
+            plan.ray_phasors[start:stop, 1:],
+            plan.freq_nlos,
+            plan.tx_nlos,
+            plan.rx_nlos,
+            optimize=True,
+        )
+        h_los = np.einsum(
+            "n,nk,nt,nr->nktr",
+            plan.ray_phasors[start:stop, 0],
+            plan.freq_los[start:stop],
+            plan.tx_los[start:stop],
+            plan.rx_los[start:stop],
+            optimize=True,
+        )
+        h_chunk = h_nlos + h_los
+        power = np.abs(h_chunk) ** 2
+        fading[start:stop] = np.mean(power, axis=(1, 2, 3))
+        # Frequency-selectivity-aware (geometric band mean) power: deep
+        # notches pull it down, matching how PER reacts to fades.
+        per_subcarrier = np.mean(power, axis=(2, 3))  # (chunk, K)
+        selective[start:stop] = np.exp(
+            np.mean(np.log(np.maximum(per_subcarrier, 1e-15)), axis=1)
+        )
+        narrowband = np.mean(h_chunk, axis=1)  # (chunk, T, R)
+        singulars = np.linalg.svd(narrowband, compute_uv=False)  # (chunk, min(T,R))
+        s1 = singulars[:, 0]
+        s2 = singulars[:, 1] if singulars.shape[1] > 1 else np.full_like(s1, 1e-9)
+        condition_db[start:stop] = 20.0 * np.log10(np.maximum(s1, 1e-12) / np.maximum(s2, 1e-12))
+        if include_h:
+            h_store[start:stop] = h_chunk.astype(np.complex64)
+
+    return fading, selective, condition_db, h_store
+
+
+def _raysum_batched(
+    plans: Sequence[_LinkEvalPlan],
+    n_tx: int,
+    n_rx: int,
+    include_h: Sequence[bool],
+    chunk_size: int,
+):
+    """Batched ray-sum over many links sharing one time grid.
+
+    All per-link arrays are stacked on a leading client axis and contracted
+    in one einsum per chunk, so the per-step cost stops scaling as C
+    independent Python loops.  Numerics can differ from the scalar kernel
+    at float rounding level (different contraction order), which is why
+    golden-compatible consumers pass ``batched=False``.
+    """
+    c = len(plans)
+    n = plans[0].n
+    k_count = plans[0].k_count
+    ray_nlos = np.stack([p.ray_phasors[:, 1:] for p in plans])  # (C, N, P-1)
+    ray_los = np.stack([p.ray_phasors[:, 0] for p in plans])  # (C, N)
+    freq_nlos = np.stack([p.freq_nlos for p in plans])  # (C, P-1, K)
+    tx_nlos = np.stack([p.tx_nlos for p in plans])  # (C, P-1, T)
+    rx_nlos = np.stack([p.rx_nlos for p in plans])  # (C, P-1, R)
+    freq_los = np.stack([p.freq_los for p in plans])  # (C, N, K)
+    tx_los = np.stack([p.tx_los for p in plans])  # (C, N, T)
+    rx_los = np.stack([p.rx_los for p in plans])  # (C, N, R)
+
+    fading = np.empty((c, n))
+    selective = np.empty((c, n))
+    condition_db = np.empty((c, n))
+    h_stores = [
+        np.empty((n, k_count, n_tx, n_rx), dtype=np.complex64) if want else None
+        for want in include_h
+    ]
+
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        h_chunk = np.einsum(
+            "cnp,cpk,cpt,cpr->cnktr",
+            ray_nlos[:, start:stop],
+            freq_nlos,
+            tx_nlos,
+            rx_nlos,
+            optimize=True,
+        )
+        h_chunk += np.einsum(
+            "cn,cnk,cnt,cnr->cnktr",
+            ray_los[:, start:stop],
+            freq_los[:, start:stop],
+            tx_los[:, start:stop],
+            rx_los[:, start:stop],
+            optimize=True,
+        )
+        power = np.abs(h_chunk) ** 2
+        fading[:, start:stop] = np.mean(power, axis=(2, 3, 4))
+        per_subcarrier = np.mean(power, axis=(3, 4))  # (C, chunk, K)
+        selective[:, start:stop] = np.exp(
+            np.mean(np.log(np.maximum(per_subcarrier, 1e-15)), axis=2)
+        )
+        narrowband = np.mean(h_chunk, axis=2)  # (C, chunk, T, R)
+        singulars = np.linalg.svd(narrowband, compute_uv=False)  # (C, chunk, min(T,R))
+        s1 = singulars[..., 0]
+        s2 = singulars[..., 1] if singulars.shape[-1] > 1 else np.full_like(s1, 1e-9)
+        condition_db[:, start:stop] = 20.0 * np.log10(
+            np.maximum(s1, 1e-12) / np.maximum(s2, 1e-12)
+        )
+        for ci, store in enumerate(h_stores):
+            if store is not None:
+                store[start:stop] = h_chunk[ci].astype(np.complex64)
+
+    return fading, selective, condition_db, h_stores
+
+
 class LinkChannel:
     """Stochastic channel of one AP-client link, evaluated along trajectories."""
 
@@ -171,6 +330,8 @@ class LinkChannel:
         self._last_position: Optional[Point] = None
         #: multipath structure decorrelation distance (metres of travel).
         self.structure_decorrelation_m = 2.5
+        #: scalar-path call accounting (the batched path does not bump it).
+        self.n_evaluate_calls = 0
 
     # ------------------------------------------------------------------ setup
 
@@ -222,6 +383,15 @@ class LinkChannel:
         ``(N, 2)``.  With ``include_h=False`` only scalar link quality is
         produced (cheaper for long MAC-level simulations).
         """
+        self.n_evaluate_calls += 1
+        plan = self._prepare_evaluation(times, positions)
+        fading, selective, condition_db, h_store = _raysum_link(
+            plan, self.config.n_tx, self.config.n_rx, include_h, chunk_size
+        )
+        return self._finish_evaluation(plan, fading, selective, condition_db, h_store)
+
+    def _prepare_evaluation(self, times: np.ndarray, positions: np.ndarray) -> _LinkEvalPlan:
+        """Advance the link's stochastic state and lay out the ray sum."""
         times = np.asarray(times, dtype=float)
         positions = np.asarray(positions, dtype=float)
         n = len(times)
@@ -277,7 +447,6 @@ class LinkChannel:
 
         # Frequency response factors.
         offsets = cfg.subcarrier_offsets_hz()  # (K,)
-        k_count = len(offsets)
         freq_nlos = np.exp(-2j * np.pi * np.outer(paths.excess_delays_s[1:], offsets))  # (P-1, K)
         los_delay_shift = (distances - anchor_dist) / SPEED_OF_LIGHT  # (N,)
         freq_los = np.exp(-2j * np.pi * np.outer(los_delay_shift, offsets))  # (N, K)
@@ -289,70 +458,58 @@ class LinkChannel:
         tx_los = np.exp(-1j * np.pi * np.outer(np.sin(los_angle), np.arange(cfg.n_tx)))  # (N, T)
         rx_los = np.exp(-1j * np.pi * np.outer(np.sin(los_angle + np.pi), np.arange(cfg.n_rx)))
 
-        fading = np.empty(n)
-        selective = np.empty(n)
-        condition_db = np.empty(n)
-        h_store = (
-            np.empty((n, k_count, cfg.n_tx, cfg.n_rx), dtype=np.complex64) if include_h else None
+        self._last_position = Point(float(positions[-1, 0]), float(positions[-1, 1]))
+
+        return _LinkEvalPlan(
+            times=times,
+            distances=distances,
+            speeds=speeds,
+            shadowing_db=shadowing_db,
+            blockage_db=blockage_db,
+            ray_phasors=ray_phasors,
+            freq_nlos=freq_nlos,
+            freq_los=freq_los,
+            tx_nlos=tx_nlos,
+            rx_nlos=rx_nlos,
+            tx_los=tx_los,
+            rx_los=rx_los,
         )
 
-        for start in range(0, n, chunk_size):
-            stop = min(start + chunk_size, n)
-            h_nlos = np.einsum(
-                "np,pk,pt,pr->nktr",
-                ray_phasors[start:stop, 1:],
-                freq_nlos,
-                tx_nlos,
-                rx_nlos,
-                optimize=True,
-            )
-            h_los = np.einsum(
-                "n,nk,nt,nr->nktr",
-                ray_phasors[start:stop, 0],
-                freq_los[start:stop],
-                tx_los[start:stop],
-                rx_los[start:stop],
-                optimize=True,
-            )
-            h_chunk = h_nlos + h_los
-            power = np.abs(h_chunk) ** 2
-            fading[start:stop] = np.mean(power, axis=(1, 2, 3))
-            # Frequency-selectivity-aware (geometric band mean) power: deep
-            # notches pull it down, matching how PER reacts to fades.
-            per_subcarrier = np.mean(power, axis=(2, 3))  # (chunk, K)
-            selective[start:stop] = np.exp(
-                np.mean(np.log(np.maximum(per_subcarrier, 1e-15)), axis=1)
-            )
-            narrowband = np.mean(h_chunk, axis=1)  # (chunk, T, R)
-            singulars = np.linalg.svd(narrowband, compute_uv=False)  # (chunk, min(T,R))
-            s1 = singulars[:, 0]
-            s2 = singulars[:, 1] if singulars.shape[1] > 1 else np.full_like(s1, 1e-9)
-            condition_db[start:stop] = 20.0 * np.log10(np.maximum(s1, 1e-12) / np.maximum(s2, 1e-12))
-            if include_h:
-                h_store[start:stop] = h_chunk.astype(np.complex64)
-
+    def _finish_evaluation(
+        self,
+        plan: _LinkEvalPlan,
+        fading: np.ndarray,
+        selective: np.ndarray,
+        condition_db: np.ndarray,
+        h_store: Optional[np.ndarray],
+    ) -> ChannelTrace:
+        """Turn ray-sum output into the link-quality trace."""
+        cfg = self.config
         fading_db = 10.0 * np.log10(np.maximum(fading, 1e-12))
         loss = path_loss_db(
-            distances,
+            plan.distances,
             cfg.carrier_hz,
             breakpoint_m=cfg.pathloss_breakpoint_m,
             exponent_near=cfg.pathloss_exponent_near,
             exponent_far=cfg.pathloss_exponent_far,
         )
-        rssi = cfg.tx_power_dbm - loss - shadowing_db - blockage_db + fading_db
+        rssi = cfg.tx_power_dbm - loss - plan.shadowing_db - plan.blockage_db + fading_db
         snr = rssi - cfg.noise_floor_dbm
         selective_db = 10.0 * np.log10(np.maximum(selective, 1e-12))
         effective_snr = (
-            cfg.tx_power_dbm - loss - shadowing_db - blockage_db + selective_db - cfg.noise_floor_dbm
+            cfg.tx_power_dbm
+            - loss
+            - plan.shadowing_db
+            - plan.blockage_db
+            + selective_db
+            - cfg.noise_floor_dbm
         )
 
-        doppler = self._effective_doppler(speeds)
-
-        self._last_position = Point(float(positions[-1, 0]), float(positions[-1, 1]))
+        doppler = self._effective_doppler(plan.speeds)
 
         return ChannelTrace(
-            times=times,
-            distances_m=distances,
+            times=plan.times,
+            distances_m=plan.distances,
             rssi_dbm=rssi,
             snr_db=snr,
             fading_db=fading_db,
@@ -486,3 +643,116 @@ class LinkChannel:
         # pilot-based tracking compensates them within a frame; only a small
         # residual floor remains.
         return np.sqrt(device**2 + cfg.residual_doppler_hz**2)
+
+
+class MultiLinkChannel:
+    """Batched evaluation of many AP-client links on one shared time grid.
+
+    Wraps a set of :class:`LinkChannel` instances (each keeping its own
+    stochastic state across calls) and evaluates them together.  The
+    expensive ray-sum stage is fused into one vectorized kernel across all
+    links, so serving N clients stops costing N independent Python loops —
+    the architectural hook the :class:`repro.sim.SimulationEngine` uses for
+    multi-client runs.
+
+    ``n_calls`` / ``n_batched_calls`` / ``last_batch_size`` provide the
+    call accounting the scaling benchmarks assert against.
+    """
+
+    def __init__(self, links: Sequence[LinkChannel]) -> None:
+        if len(links) == 0:
+            raise ValueError("need at least one link")
+        self._links = list(links)
+        self.n_calls = 0
+        self.n_batched_calls = 0
+        self.last_batch_size = 0
+
+    @classmethod
+    def for_clients(
+        cls,
+        ap: Point,
+        n_clients: int,
+        config: ChannelConfig = ChannelConfig(),
+        environment: Optional[EnvironmentProcess] = None,
+        seed: SeedLike = None,
+    ) -> "MultiLinkChannel":
+        """Independent links from one AP to ``n_clients`` client devices."""
+        rng = ensure_rng(seed)
+        seeds = spawn_rngs(rng, n_clients)
+        return cls(
+            [LinkChannel(ap, config, environment=environment, seed=s) for s in seeds]
+        )
+
+    @property
+    def links(self) -> List[LinkChannel]:
+        return self._links
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def _batchable(self, plans: Sequence[_LinkEvalPlan]) -> bool:
+        """Links can share one kernel iff their array shapes agree."""
+        first = self._links[0].config
+        shape = plans[0].freq_nlos.shape
+        for link, plan in zip(self._links, plans):
+            cfg = link.config
+            if (cfg.n_tx, cfg.n_rx) != (first.n_tx, first.n_rx):
+                return False
+            if plan.freq_nlos.shape != shape:
+                return False
+        return True
+
+    def evaluate_many(
+        self,
+        times: np.ndarray,
+        positions_per_client: Sequence[np.ndarray],
+        include_h: bool = False,
+        include_h_for: Optional[Sequence[int]] = None,
+        batched: bool = True,
+        chunk_size: int = 2048,
+    ) -> List[ChannelTrace]:
+        """Evaluate every link at ``times``; one position array per link.
+
+        ``include_h_for`` lists link indices that need full CSI (bounding
+        memory, as in :class:`repro.wlan.multilink.MultiApChannel`).  With
+        ``batched=True`` the ray sums of all links run through one fused
+        kernel; ``batched=False`` keeps the scalar per-link kernel whose
+        numerics are bit-identical to historical single-link evaluation
+        (golden-value consumers rely on that).
+        """
+        if len(positions_per_client) != len(self._links):
+            raise ValueError(
+                f"{len(self._links)} links need {len(self._links)} position arrays, "
+                f"got {len(positions_per_client)}"
+            )
+        wants = [
+            include_h or (include_h_for is not None and index in include_h_for)
+            for index in range(len(self._links))
+        ]
+        plans = [
+            link._prepare_evaluation(times, positions)
+            for link, positions in zip(self._links, positions_per_client)
+        ]
+        self.n_calls += 1
+        if batched and len(plans) > 1 and self._batchable(plans):
+            self.n_batched_calls += 1
+            self.last_batch_size = len(plans)
+            cfg = self._links[0].config
+            fading, selective, condition_db, h_stores = _raysum_batched(
+                plans, cfg.n_tx, cfg.n_rx, wants, chunk_size
+            )
+            return [
+                link._finish_evaluation(
+                    plan, fading[i], selective[i], condition_db[i], h_stores[i]
+                )
+                for i, (link, plan) in enumerate(zip(self._links, plans))
+            ]
+        traces = []
+        for link, plan, want in zip(self._links, plans, wants):
+            fading, selective, condition_db, h_store = _raysum_link(
+                plan, link.config.n_tx, link.config.n_rx, want, chunk_size
+            )
+            traces.append(
+                link._finish_evaluation(plan, fading, selective, condition_db, h_store)
+            )
+        return traces

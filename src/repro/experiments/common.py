@@ -5,6 +5,10 @@ at many locations and scoring every per-second decision against ground
 truth (Table 1, Fig. 6).  :func:`run_classification` reproduces that
 pipeline end to end: trajectory -> channel -> measured CSI / noisy ToF ->
 classifier -> scored decisions.
+
+Sensing runs are driven by :class:`repro.sim.SimulationEngine` with a
+:class:`repro.sim.SensingSession` per link; cadences (CSI, ToF) map onto
+grid strides through :meth:`repro.sim.TimeGrid.stride_for`.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.core.hints import MobilityEstimate
 from repro.mobility.modes import MODE_ORDER, GroundTruth, Heading, MobilityMode
 from repro.mobility.scenarios import MobilityScenario
 from repro.phy.tof import ToFConfig, ToFSampler
+from repro.sim import SensingSession, SimulationEngine, TimeGrid
 from repro.util.geometry import Point
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs, stable_seed
 
@@ -117,7 +122,10 @@ def classification_decisions(
     truths = scenario.ground_truth(trajectory, ap)
 
     link = LinkChannel(ap, channel_config, environment=scenario.environment, seed=channel_rng)
-    csi_stride = max(1, int(round(classifier_config.csi_sampling_period_s / TRAJECTORY_DT_S)))
+    fine_grid = TimeGrid(trajectory.times, fallback_dt_s=TRAJECTORY_DT_S)
+    csi_stride = fine_grid.stride_for(
+        classifier_config.csi_sampling_period_s, strict=False, name="csi_sampling_period_s"
+    )
     trace = link.evaluate(
         trajectory.times[::csi_stride], trajectory.positions[::csi_stride], include_h=True
     )
@@ -134,26 +142,28 @@ def classification_decisions(
             transition_times.append(float(trajectory.times[i]))
     transitions = np.asarray(transition_times)
 
-    classifier = MobilityClassifier(classifier_config)
     outcome = ClassificationOutcome(grace_s=grace_s)
-    tof_cursor = 0
-    for ci in range(len(trace.times)):
-        now = float(trace.times[ci])
-        while tof_cursor < len(trajectory.times) and trajectory.times[tof_cursor] <= now:
-            if classifier.wants_tof:
-                classifier.push_tof(
-                    float(trajectory.times[tof_cursor]), float(tof_readings[tof_cursor])
-                )
-            tof_cursor += 1
-        estimate = classifier.push_csi(now, measured[ci])
-        if estimate is None or now < warmup_s:
-            continue
+
+    def score(now: float, estimate: MobilityEstimate) -> None:
+        if now < warmup_s:
+            return
         if grace_s > 0.0 and len(transitions):
             since = now - transitions[transitions <= now]
             if len(since) and float(since.min()) < grace_s:
-                continue
+                return
         truth_index = min(int(now / TRAJECTORY_DT_S), len(truths) - 1)
         outcome.decisions.append((estimate, truths[truth_index]))
+
+    session = SensingSession(
+        MobilityClassifier(classifier_config),
+        measured,
+        tof_times=trajectory.times,
+        tof_readings=tof_readings,
+        on_estimate=score,
+    )
+    engine = SimulationEngine(TimeGrid(trace.times))
+    engine.add(session)
+    engine.run()
     return outcome
 
 
@@ -275,7 +285,10 @@ def sense_and_classify(
     # ToF runs at its own cadence (paper: 20 ms).  If the trajectory grid is
     # coarser, sample at the grid cadence and tell the trend detector so its
     # per-second median batches stay one second long.
-    tof_stride = max(1, int(round(tof_config_interval(classifier_config) / dt_s)))
+    fine_grid = TimeGrid(trace.times, fallback_dt_s=dt_s)
+    tof_stride = fine_grid.stride_for(
+        tof_config_interval(classifier_config), strict=False, name="tof sample_interval_s"
+    )
     effective_interval = tof_stride * dt_s
     if abs(effective_interval - classifier_config.tof.sample_interval_s) > 1e-9:
         classifier_config = replace(
@@ -286,19 +299,18 @@ def sense_and_classify(
     distances = trajectory.distances_to(ap)[::tof_stride]
     tof_readings = ToFSampler(tof_config, seed=tof_rng).sample(distances)
 
-    csi_stride = max(1, int(round(classifier_config.csi_sampling_period_s / dt_s)))
-    classifier = MobilityClassifier(classifier_config)
-    hints: List[MobilityEstimate] = []
-    tof_cursor = 0
-    for index in range(0, len(trace.times), csi_stride):
-        now = float(trace.times[index])
-        while tof_cursor < len(tof_times) and tof_times[tof_cursor] <= now:
-            if classifier.wants_tof:
-                classifier.push_tof(float(tof_times[tof_cursor]), float(tof_readings[tof_cursor]))
-            tof_cursor += 1
-        estimate = classifier.push_csi(now, measured[index])
-        if estimate is not None:
-            hints.append(estimate)
+    csi_stride = fine_grid.stride_for(
+        classifier_config.csi_sampling_period_s, strict=False, name="csi_sampling_period_s"
+    )
+    session = SensingSession(
+        MobilityClassifier(classifier_config),
+        measured[::csi_stride],
+        tof_times=tof_times,
+        tof_readings=tof_readings,
+    )
+    engine = SimulationEngine(TimeGrid(trace.times[::csi_stride]))
+    engine.add(session)
+    hints: List[MobilityEstimate] = engine.run()[session.client]
     truths = scenario.ground_truth(trajectory, ap)
     return SensedLink(trajectory=trajectory, trace=trace, hints=hints, truths=truths)
 

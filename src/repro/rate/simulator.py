@@ -3,7 +3,9 @@
 Drives a :class:`RateAdapter` over a :class:`ChannelTrace`: a saturated
 downlink sender transmits back-to-back A-MPDUs, each scheme observing only
 what it physically could (frame outcomes, SoftPHY SINR, CSI-feedback ESNR,
-mobility hints).
+mobility hints).  The run is a :class:`RateControlSession` driven by
+:class:`repro.sim.SimulationEngine`; the session's frame clock carries
+across engine steps, so frames straddle step boundaries freely.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from repro.core.hints import MobilityEstimate
 from repro.mac.aggregation import FrameTransmitter
 from repro.phy.error import sinr_with_stale_estimate
 from repro.rate.base import PhyFeedback, RateAdapter
+from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
 from repro.util.special import jakes_correlation
 
 
@@ -68,98 +71,157 @@ def simulate_rate_control(
     perturbation seed derives from the trace, so schemes compared on the
     same trace experience identical fading and interference.  Pass ``None``
     to disable (clean-channel unit tests).
+
+    This is a thin shim over :class:`repro.sim.SimulationEngine` with a
+    :class:`RateControlSession`; build those directly to co-run several
+    links (or mixed protocol sessions) on one grid.
     """
-    if transmitter is None:
-        transmitter = FrameTransmitter(seed=0)
-    times = trace.times
-    start = float(times[0])
-    end = float(times[-1])
-    now = start
-    hint_index = 0
-    delivered_bytes = 0
-    n_frames = 0
-    last_esnr_update = start - esnr_feedback_period_s
-    esnr_db = float(trace.snr_db[0])
-    if perturbation_seed is None:
-        perturbation_seed = trace_seed(trace.snr_db)
-    perturb = (
-        LinkPerturbations(start, end + 1e-6, perturbations, seed=perturbation_seed)
-        if perturbations is not None
-        else None
+    session = RateControlSession(
+        adapter,
+        trace,
+        transmitter=transmitter,
+        aggregation_time_fn=aggregation_time_fn,
+        hints=hints,
+        esnr_feedback_period_s=esnr_feedback_period_s,
+        softphy_available=softphy_available,
+        record_timeline=record_timeline,
+        perturbations=perturbations,
+        perturbation_seed=perturbation_seed,
     )
+    engine = SimulationEngine(TimeGrid(trace.times))
+    engine.add(session)
+    return engine.run()[session.client]
 
-    result_times: List[float] = []
-    result_mcs: List[int] = []
-    result_delivered: List[int] = []
 
-    while now < end:
-        while hint_index < len(hints) and hints[hint_index].time_s <= now:
-            adapter.update_hint(hints[hint_index])
-            hint_index += 1
+class RateControlSession(Session):
+    """A saturated link driven by one rate adapter, as an engine session.
 
-        index = int(np.searchsorted(times, now, side="right") - 1)
-        index = min(max(index, 0), len(times) - 1)
-        doppler = float(trace.doppler_hz[index])
-        condition = float(trace.mimo_condition_db[index])
-        if perturb is not None:
-            fade_db, in_burst = perturb.advance(now, doppler)
-            penalty = perturb.config.interference_penalty_db
-        else:
-            fade_db, in_burst, penalty = 0.0, False, 0.0
-        channel_snr = float(trace.per_snr_db()[index]) + fade_db
-        # Interference degrades the frame on the air, but not the *channel*
-        # observables: CSI feedback (ESNR) measures the channel, and
-        # SoftRate's BER heuristic explicitly discriminates interference
-        # from channel errors, so neither reacts to bursts.
-        snr = channel_snr - penalty if in_burst else channel_snr
+    Mobility hints arrive through :meth:`RateAdapter.update_hint` inside
+    the frame loop (they are frame-cadence feedback, not grid-cadence
+    sensing), so only ``transmit`` is populated.  See
+    :func:`simulate_rate_control` for parameter semantics.
+    """
 
-        if now - last_esnr_update >= esnr_feedback_period_s:
-            esnr_db = channel_snr
-            last_esnr_update = now
+    def __init__(
+        self,
+        adapter: RateAdapter,
+        trace: ChannelTrace,
+        transmitter: Optional[FrameTransmitter] = None,
+        aggregation_time_fn: Callable[[float], float] = lambda t: 0.004,
+        hints: Sequence[MobilityEstimate] = (),
+        esnr_feedback_period_s: float = 0.100,
+        softphy_available: bool = True,
+        record_timeline: bool = False,
+        perturbations: Optional[PerturbationConfig] = PerturbationConfig(),
+        perturbation_seed: Optional[int] = None,
+        client: str = "client",
+    ) -> None:
+        self.client = client
+        self.adapter = adapter
+        self.trace = trace
+        self._transmitter = transmitter if transmitter is not None else FrameTransmitter(seed=0)
+        self._aggregation_time_fn = aggregation_time_fn
+        self._hints = hints
+        self._esnr_feedback_period_s = esnr_feedback_period_s
+        self._softphy_available = softphy_available
+        self._record_timeline = record_timeline
 
-        mcs = adapter.select(now)
-        aggregation_time = aggregation_time_fn(now)
-        frame = transmitter.transmit(
-            mcs,
-            snr,
-            doppler,
-            aggregation_time,
-            mimo_condition_db=condition,
+        times = trace.times
+        self._times = times
+        self._start = float(times[0])
+        self._end = float(times[-1])
+        self._now = self._start
+        self._hint_index = 0
+        self._delivered_bytes = 0
+        self._n_frames = 0
+        self._last_esnr_update = self._start - esnr_feedback_period_s
+        self._esnr_db = float(trace.snr_db[0])
+        if perturbation_seed is None:
+            perturbation_seed = trace_seed(trace.snr_db)
+        self._perturb = (
+            LinkPerturbations(self._start, self._end + 1e-6, perturbations, seed=perturbation_seed)
+            if perturbations is not None
+            else None
         )
-        # SoftPHY observes the realized frame quality — the SINR at
-        # mid-frame staleness of the channel (bursts excluded, see above).
-        frame_sinr = float(
-            sinr_with_stale_estimate(
-                channel_snr, jakes_correlation(doppler, aggregation_time / 2.0)
+        self._result_times: List[float] = []
+        self._result_mcs: List[int] = []
+        self._result_delivered: List[int] = []
+
+    def transmit(self, clock: StepClock) -> None:
+        adapter = self.adapter
+        trace = self.trace
+        hints = self._hints
+        window_end = min(clock.end_s, self._end)
+        while self._now < window_end:
+            now = self._now
+            while self._hint_index < len(hints) and hints[self._hint_index].time_s <= now:
+                adapter.update_hint(hints[self._hint_index])
+                self._hint_index += 1
+
+            index = int(np.searchsorted(self._times, now, side="right") - 1)
+            index = min(max(index, 0), len(self._times) - 1)
+            doppler = float(trace.doppler_hz[index])
+            condition = float(trace.mimo_condition_db[index])
+            if self._perturb is not None:
+                fade_db, in_burst = self._perturb.advance(now, doppler)
+                penalty = self._perturb.config.interference_penalty_db
+            else:
+                fade_db, in_burst, penalty = 0.0, False, 0.0
+            channel_snr = float(trace.per_snr_db()[index]) + fade_db
+            # Interference degrades the frame on the air, but not the *channel*
+            # observables: CSI feedback (ESNR) measures the channel, and
+            # SoftRate's BER heuristic explicitly discriminates interference
+            # from channel errors, so neither reacts to bursts.
+            snr = channel_snr - penalty if in_burst else channel_snr
+
+            if now - self._last_esnr_update >= self._esnr_feedback_period_s:
+                self._esnr_db = channel_snr
+                self._last_esnr_update = now
+
+            mcs = adapter.select(now)
+            aggregation_time = self._aggregation_time_fn(now)
+            frame = self._transmitter.transmit(
+                mcs,
+                snr,
+                doppler,
+                aggregation_time,
+                mimo_condition_db=condition,
             )
-        )
-        feedback = PhyFeedback(
-            soft_snr_db=frame_sinr if softphy_available else None,
-            esnr_db=float(
+            # SoftPHY observes the realized frame quality — the SINR at
+            # mid-frame staleness of the channel (bursts excluded, see above).
+            frame_sinr = float(
                 sinr_with_stale_estimate(
-                    esnr_db, jakes_correlation(doppler, aggregation_time / 2.0)
+                    channel_snr, jakes_correlation(doppler, aggregation_time / 2.0)
                 )
-            ),
-            mimo_condition_db=condition,
+            )
+            feedback = PhyFeedback(
+                soft_snr_db=frame_sinr if self._softphy_available else None,
+                esnr_db=float(
+                    sinr_with_stale_estimate(
+                        self._esnr_db, jakes_correlation(doppler, aggregation_time / 2.0)
+                    )
+                ),
+                mimo_condition_db=condition,
+            )
+            adapter.observe(now, frame, feedback)
+
+            self._delivered_bytes += frame.delivered_bytes
+            self._n_frames += 1
+            if self._record_timeline:
+                self._result_times.append(now)
+                self._result_mcs.append(mcs)
+                self._result_delivered.append(frame.n_delivered)
+            self._now = now + frame.airtime_s
+
+    def finish(self) -> RateRunResult:
+        duration = self._now - self._start
+        throughput = self._delivered_bytes * 8 / duration / 1e6 if duration > 0 else 0.0
+        return RateRunResult(
+            throughput_mbps=throughput,
+            duration_s=duration,
+            n_frames=self._n_frames,
+            delivered_bytes=self._delivered_bytes,
+            frame_times=self._result_times,
+            frame_mcs=self._result_mcs,
+            frame_delivered=self._result_delivered,
         )
-        adapter.observe(now, frame, feedback)
-
-        delivered_bytes += frame.delivered_bytes
-        n_frames += 1
-        if record_timeline:
-            result_times.append(now)
-            result_mcs.append(mcs)
-            result_delivered.append(frame.n_delivered)
-        now += frame.airtime_s
-
-    duration = now - start
-    throughput = delivered_bytes * 8 / duration / 1e6 if duration > 0 else 0.0
-    return RateRunResult(
-        throughput_mbps=throughput,
-        duration_s=duration,
-        n_frames=n_frames,
-        delivered_bytes=delivered_bytes,
-        frame_times=result_times,
-        frame_mcs=result_mcs,
-        frame_delivered=result_delivered,
-    )

@@ -11,6 +11,10 @@ Each decision step (the channel sampling cadence, default 100 ms):
   receiving data", Section 3);
 * goodput for the step is the expected MAC throughput of the serving AP's
   current SNR.
+
+The step loop is owned by :class:`repro.sim.SimulationEngine`; this module
+provides :class:`RoamingSession` mapping the bullets above onto the
+engine's sense/classify/adapt/transmit phases.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from repro.roaming.base import (
     RoamingContext,
     RoamingScheme,
 )
+from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.wlan.multilink import MultiApTraces
 from repro.wlan.traffic import TcpModel
@@ -227,6 +232,83 @@ class _RoamingSimulation:
         ) * self.mac_efficiency
 
 
+class RoamingSession(Session):
+    """One client walking a floorplan while a roaming scheme serves it.
+
+    Phase mapping: ``sense`` feeds the ToF/CSI streams to the serving AP's
+    classifier and the per-AP trend detectors; ``adapt`` runs the scheme's
+    decision and performs scans/handoffs; ``transmit`` records the step's
+    goodput under the current outage state.  See :func:`simulate_roaming`
+    for parameter semantics.
+    """
+
+    def __init__(
+        self,
+        multi: MultiApTraces,
+        scheme: RoamingScheme,
+        device_mobile_truth: Optional[np.ndarray] = None,
+        error_model: ErrorModel = ErrorModel(),
+        mac_efficiency: float = 0.65,
+        scan_outage_s: float = 0.150,
+        handoff_outage_s: float = 0.250,
+        forced_handoff_outage_s: float = 0.200,
+        classifier_config: ClassifierConfig = ClassifierConfig(),
+        tof_config: ToFConfig = ToFConfig(),
+        rssi_noise_db: float = 1.0,
+        seed: SeedLike = None,
+        client: str = "client",
+    ) -> None:
+        self.client = client
+        self._sim = _RoamingSimulation(
+            multi,
+            scheme,
+            device_mobile_truth,
+            error_model,
+            mac_efficiency,
+            scan_outage_s,
+            handoff_outage_s,
+            forced_handoff_outage_s,
+            classifier_config,
+            tof_config,
+            rssi_noise_db,
+            seed,
+        )
+        self.scheme = scheme
+        self._ctx = _SimContext(self._sim)
+        n = len(multi.times)
+        self._goodput = np.empty(n)
+        self._ap_timeline = np.empty(n, dtype=int)
+
+    def start(self, grid: TimeGrid) -> None:
+        del grid
+        self.scheme.reset()
+
+    def sense(self, clock: StepClock) -> None:
+        sim = self._sim
+        sim.step_index = clock.index
+        sim.now_s = clock.start_s
+        sim.advance_sensing(sim.now_s)
+
+    def adapt(self, clock: StepClock) -> None:
+        sim = self._sim
+        decision = self.scheme.decide(self._ctx)
+        if decision.wants_roam and decision.target_ap != sim.current_ap:
+            sim.perform_handoff(int(decision.target_ap), decision.forced)
+        self._ap_timeline[clock.index] = sim.current_ap
+
+    def transmit(self, clock: StepClock) -> None:
+        self._goodput[clock.index] = self._sim.goodput_now()
+
+    def finish(self) -> RoamingRunResult:
+        return RoamingRunResult(
+            times=np.asarray(self._sim.multi.times, dtype=float),
+            goodput_mbps=self._goodput,
+            ap_timeline=self._ap_timeline,
+            handoffs=self._sim.handoffs,
+            n_scans=self._sim.n_scans,
+        )
+
+
 def simulate_roaming(
     multi: MultiApTraces,
     scheme: RoamingScheme,
@@ -247,42 +329,26 @@ def simulate_roaming(
     ground truth used by sensor-hint roaming.  Traces must carry CSI
     (``include_h``) for the classifier-driven controller scheme; without
     CSI the classifier simply never produces estimates.
+
+    .. deprecated:: 1.1
+        This is now a thin shim over :class:`repro.sim.SimulationEngine`
+        with a :class:`RoamingSession`; build those directly to co-run
+        roaming with other sessions on one grid.
     """
-    sim = _RoamingSimulation(
+    session = RoamingSession(
         multi,
         scheme,
-        device_mobile_truth,
-        error_model,
-        mac_efficiency,
-        scan_outage_s,
-        handoff_outage_s,
-        forced_handoff_outage_s,
-        classifier_config,
-        tof_config,
-        rssi_noise_db,
-        seed,
+        device_mobile_truth=device_mobile_truth,
+        error_model=error_model,
+        mac_efficiency=mac_efficiency,
+        scan_outage_s=scan_outage_s,
+        handoff_outage_s=handoff_outage_s,
+        forced_handoff_outage_s=forced_handoff_outage_s,
+        classifier_config=classifier_config,
+        tof_config=tof_config,
+        rssi_noise_db=rssi_noise_db,
+        seed=seed,
     )
-    scheme.reset()
-    ctx = _SimContext(sim)
-    times = multi.times
-    n = len(times)
-    goodput = np.empty(n)
-    ap_timeline = np.empty(n, dtype=int)
-
-    for i in range(n):
-        sim.step_index = i
-        sim.now_s = float(times[i])
-        sim.advance_sensing(sim.now_s)
-        decision = scheme.decide(ctx)
-        if decision.wants_roam and decision.target_ap != sim.current_ap:
-            sim.perform_handoff(int(decision.target_ap), decision.forced)
-        ap_timeline[i] = sim.current_ap
-        goodput[i] = sim.goodput_now()
-
-    return RoamingRunResult(
-        times=np.asarray(times, dtype=float),
-        goodput_mbps=goodput,
-        ap_timeline=ap_timeline,
-        handoffs=sim.handoffs,
-        n_scans=sim.n_scans,
-    )
+    engine = SimulationEngine(TimeGrid(multi.times))
+    engine.add(session)
+    return engine.run()[session.client]

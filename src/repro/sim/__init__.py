@@ -1,0 +1,29 @@
+"""repro.sim — the unified sense→classify→adapt→transmit simulation engine.
+
+One :class:`SimulationEngine` owns the time grid and drives pluggable
+per-client :class:`Session` components; the protocol entry points in
+``repro.wlan`` (stack, scheduler, uplink), ``repro.roaming`` and
+``repro.rate`` are thin configurations of this loop.  Multi-client runs
+evaluate their channels through the batched
+:class:`repro.channel.model.MultiLinkChannel` path.
+"""
+
+from repro.sim.engine import (
+    PHASES,
+    Session,
+    SessionError,
+    SimulationEngine,
+    StepClock,
+    TimeGrid,
+)
+from repro.sim.sessions import SensingSession
+
+__all__ = [
+    "PHASES",
+    "SensingSession",
+    "Session",
+    "SessionError",
+    "SimulationEngine",
+    "StepClock",
+    "TimeGrid",
+]

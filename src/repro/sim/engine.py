@@ -1,0 +1,253 @@
+"""The unified simulation engine: one sense→classify→adapt→transmit loop.
+
+Every protocol study in this repository has the same shape: an outer
+*decision* loop that walks a uniform time grid (channel sampling cadence)
+and, per step, feeds observables to a classifier, lets a control policy
+react, and transmits frames inside the step window.  Historically each of
+``wlan/stack.py``, ``wlan/scheduler.py``, ``wlan/uplink.py`` and
+``roaming/simulator.py`` hand-rolled that loop; this module owns it once.
+
+* :class:`TimeGrid` — the shared uniform grid plus alignment helpers
+  (e.g. mapping ``csi_sampling_period_s`` onto a grid stride);
+* :class:`Session` — one client's pluggable behaviour, split into the four
+  phases ``sense``, ``classify``, ``adapt``, ``transmit``;
+* :class:`SimulationEngine` — drives every registered session through the
+  phases, phase-major, step by step, and collects per-client results.
+
+Sessions keep whatever state they need; the engine guarantees ordering,
+wraps failures in :class:`SessionError` naming the offending client, and
+(via :meth:`SimulationEngine.for_clients`) evaluates multi-client channels
+through the batched :class:`repro.channel.model.MultiLinkChannel` path
+instead of N scalar per-link loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Phase order of one engine step.  ``sense`` ingests observables (CSI,
+#: ToF, RSSI), ``classify`` turns them into mobility estimates, ``adapt``
+#: lets control policies react (roaming, rate, aggregation, feedback), and
+#: ``transmit`` spends the step's airtime.
+PHASES: Tuple[str, ...] = ("sense", "classify", "adapt", "transmit")
+
+
+@dataclass(frozen=True)
+class StepClock:
+    """The engine's view of one step: the window ``[start_s, end_s)``."""
+
+    index: int
+    start_s: float
+    end_s: float
+    dt_s: float
+
+
+class TimeGrid:
+    """A uniform, increasing time grid shared by every session of a run.
+
+    ``fallback_dt_s`` is only consulted when the grid has a single sample
+    (a degenerate run still needs a step width for its one window).
+    """
+
+    def __init__(self, times: np.ndarray, fallback_dt_s: float = 0.1) -> None:
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or len(times) == 0:
+            raise ValueError("grid needs a one-dimensional, non-empty time array")
+        if len(times) > 1:
+            steps = np.diff(times)
+            dt = float(steps[0])
+            if dt <= 0:
+                raise ValueError("grid times must be increasing")
+            if np.any(np.abs(steps - dt) > 1e-9):
+                raise ValueError("grid times must be uniformly spaced")
+        else:
+            dt = float(fallback_dt_s)
+        self.times = times
+        self.dt_s = dt
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def start_s(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def end_s(self) -> float:
+        """End of the *sampled* span (the last sample instant)."""
+        return float(self.times[-1])
+
+    def clock(self, index: int) -> StepClock:
+        start = float(self.times[index])
+        return StepClock(index=index, start_s=start, end_s=start + self.dt_s, dt_s=self.dt_s)
+
+    def index_at(self, time_s: float) -> int:
+        """Index of the grid sample at or before ``time_s`` (clamped)."""
+        index = int(np.searchsorted(self.times, time_s, side="right") - 1)
+        return min(max(index, 0), len(self.times) - 1)
+
+    def stride_for(self, period_s: float, strict: bool = True, name: str = "period") -> int:
+        """Grid steps per ``period_s`` (e.g. ``csi_sampling_period_s``).
+
+        With ``strict=True`` a period that is not an integer multiple of
+        the grid step raises, so misconfigured cadences fail loudly instead
+        of silently drifting; ``strict=False`` keeps the historical
+        round-to-nearest behaviour of the hand-rolled loops.
+        """
+        if period_s <= 0:
+            raise ValueError(f"{name} must be positive, got {period_s}")
+        ratio = period_s / self.dt_s
+        stride = int(round(ratio))
+        if strict and abs(ratio - stride) > 1e-6 * max(ratio, 1.0):
+            raise ValueError(
+                f"{name} ({period_s} s) is not aligned with the grid step "
+                f"({self.dt_s} s): {ratio:.6f} steps per period"
+            )
+        return max(1, stride)
+
+
+class Session:
+    """One client's behaviour inside the engine loop.
+
+    Subclasses override the phases they need; unused phases default to
+    no-ops so a transmit-only session stays three lines.  ``client`` names
+    the session in results and error messages.
+    """
+
+    client: str = "client"
+
+    def start(self, grid: TimeGrid) -> None:
+        """Called once before the first step."""
+
+    def sense(self, clock: StepClock) -> None:
+        """Ingest observables (CSI, ToF, RSSI) up to ``clock.start_s``."""
+
+    def classify(self, clock: StepClock) -> None:
+        """Turn accumulated observables into mobility estimates."""
+
+    def adapt(self, clock: StepClock) -> None:
+        """Let control policies react (roaming, rate, aggregation, ...)."""
+
+    def transmit(self, clock: StepClock) -> None:
+        """Spend the step window's airtime (the inner frame loop)."""
+
+    def finish(self) -> Any:
+        """Called once after the last step; the session's run result."""
+        return None
+
+
+class SessionError(RuntimeError):
+    """A session failed mid-run; names the client, phase, and step time."""
+
+    def __init__(self, client: str, phase: str, time_s: float, cause: BaseException) -> None:
+        super().__init__(
+            f"session {client!r} failed in phase {phase!r} at t={time_s:.3f}s: "
+            f"{cause.__class__.__name__}: {cause}"
+        )
+        self.client = client
+        self.phase = phase
+        self.time_s = time_s
+
+
+class SimulationEngine:
+    """Drives registered sessions through the phase loop on one grid.
+
+    Per step the engine is *phase-major*: every session senses, then every
+    session classifies, and so on — so multi-client phases (batched channel
+    evaluation, schedulers arbitrating between clients) always see their
+    peers' state from the same phase of the same step.
+    """
+
+    phases: Tuple[str, ...] = PHASES
+
+    def __init__(self, grid: "TimeGrid | np.ndarray") -> None:
+        self.grid = grid if isinstance(grid, TimeGrid) else TimeGrid(grid)
+        self._sessions: List[Session] = []
+        self._ran = False
+
+    @property
+    def sessions(self) -> Sequence[Session]:
+        return tuple(self._sessions)
+
+    def add(self, session: Session) -> Session:
+        if any(existing.client == session.client for existing in self._sessions):
+            raise ValueError(f"duplicate session name {session.client!r}")
+        self._sessions.append(session)
+        return session
+
+    def _guarded(self, session: Session, phase: str, time_s: float, call: Callable) -> Any:
+        try:
+            return call()
+        except SessionError:
+            raise
+        except Exception as exc:
+            raise SessionError(session.client, phase, time_s, exc) from exc
+
+    def run(self) -> Dict[str, Any]:
+        """Run every session over the whole grid; ``{client: finish()}``."""
+        if not self._sessions:
+            raise ValueError("no sessions registered; add() at least one")
+        if self._ran:
+            # Sessions are stateful and single-use: a silent second pass
+            # would continue from the first run's state.
+            raise RuntimeError("engine already ran; build a fresh engine and sessions")
+        self._ran = True
+        for session in self._sessions:
+            self._guarded(session, "start", self.grid.start_s, lambda s=session: s.start(self.grid))
+        for index in range(len(self.grid)):
+            clock = self.grid.clock(index)
+            for phase in self.phases:
+                for session in self._sessions:
+                    self._guarded(
+                        session, phase, clock.start_s, lambda s=session, p=phase: getattr(s, p)(clock)
+                    )
+        return {
+            session.client: self._guarded(
+                session, "finish", self.grid.end_s, lambda s=session: s.finish()
+            )
+            for session in self._sessions
+        }
+
+    # ------------------------------------------------------------ multi-client
+
+    @classmethod
+    def for_clients(
+        cls,
+        channel: "MultiLinkChannel",
+        trajectories: Sequence["TrajectoryTrace"],
+        session_factory: Callable[[int, "ChannelTrace"], Session],
+        sample_interval_s: float = 0.1,
+        include_h: bool = False,
+    ) -> "SimulationEngine":
+        """Build an engine serving one session per client trajectory.
+
+        All client channels are evaluated on the shared grid in **one**
+        batched :meth:`MultiLinkChannel.evaluate_many` call (falling back
+        to the scalar path only for a single client), then
+        ``session_factory(client_index, trace)`` builds each session.
+        """
+        if len(trajectories) == 0:
+            raise ValueError("need at least one client trajectory")
+        if len(trajectories) != len(channel.links):
+            raise ValueError(
+                f"{len(channel.links)} links cannot serve {len(trajectories)} clients"
+            )
+        fine = TimeGrid(trajectories[0].times)
+        stride = fine.stride_for(sample_interval_s, strict=False, name="sample_interval_s")
+        times = trajectories[0].times[::stride]
+        positions = []
+        for trajectory in trajectories:
+            if len(trajectory.times) != len(trajectories[0].times):
+                raise ValueError("client trajectories must share the time grid")
+            positions.append(trajectory.positions[::stride])
+        if len(trajectories) > 1:
+            traces = channel.evaluate_many(times, positions, include_h=include_h)
+        else:
+            traces = [channel.links[0].evaluate(times, positions[0], include_h=include_h)]
+        engine = cls(TimeGrid(times))
+        for index, trace in enumerate(traces):
+            engine.add(session_factory(index, trace))
+        return engine

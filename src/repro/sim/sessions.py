@@ -1,0 +1,69 @@
+"""Reusable session building blocks shared by the protocol simulators.
+
+Concrete protocol sessions (the integrated AP stack, the multi-client
+scheduler, saturated rate-control links) live next to the machinery they
+configure in ``repro.wlan`` and ``repro.rate``; this module holds the
+generic pieces that several of them share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.sim.engine import Session, StepClock, TimeGrid
+
+
+class SensingSession(Session):
+    """Feeds pre-sampled ToF and CSI streams to a classifier on the grid.
+
+    The engine grid runs at the CSI cadence; each step pushes every ToF
+    reading up to the step instant (``sense``) and then the step's CSI
+    sample (``classify``).  Estimates are collected in arrival order —
+    exactly the stream a serving AP would emit as mobility hints.
+    """
+
+    def __init__(
+        self,
+        classifier: Any,
+        csi_by_step: Sequence[Any],
+        tof_times: Sequence[float] = (),
+        tof_readings: Sequence[float] = (),
+        client: str = "client",
+        on_estimate: Optional[Callable[[float, Any], None]] = None,
+    ) -> None:
+        if len(tof_times) != len(tof_readings):
+            raise ValueError("ToF times and readings must pair up")
+        self.client = client
+        self.classifier = classifier
+        self._csi = csi_by_step
+        self._tof_times = tof_times
+        self._tof_readings = tof_readings
+        self._tof_cursor = 0
+        self._on_estimate = on_estimate
+        self.estimates: List[Any] = []
+
+    def start(self, grid: TimeGrid) -> None:
+        if len(self._csi) != len(grid):
+            raise ValueError(
+                f"{len(self._csi)} CSI samples cannot cover a {len(grid)}-step grid"
+            )
+
+    def sense(self, clock: StepClock) -> None:
+        while (
+            self._tof_cursor < len(self._tof_times)
+            and self._tof_times[self._tof_cursor] <= clock.start_s
+        ):
+            i = self._tof_cursor
+            if self.classifier.wants_tof:
+                self.classifier.push_tof(float(self._tof_times[i]), float(self._tof_readings[i]))
+            self._tof_cursor += 1
+
+    def classify(self, clock: StepClock) -> None:
+        estimate = self.classifier.push_csi(clock.start_s, self._csi[clock.index])
+        if estimate is not None:
+            self.estimates.append(estimate)
+            if self._on_estimate is not None:
+                self._on_estimate(clock.start_s, estimate)
+
+    def finish(self) -> List[Any]:
+        return self.estimates

@@ -1,11 +1,21 @@
 """WLAN-level substrate: floorplans, multi-AP channels, traffic models,
-and the integrated mobility-aware stack (Section 7)."""
+and the integrated mobility-aware stack (Section 7).
 
+All protocol runs in this package go through
+:class:`repro.sim.SimulationEngine`; ``simulate_stack`` and
+``simulate_scheduling`` remain as thin shims over :class:`StackSession`
+and :class:`SchedulingSession` for backwards compatibility.
+"""
+
+from repro.channel.model import MultiLinkChannel
+from repro.sim import Session, SimulationEngine
 from repro.wlan.floorplan import Floorplan, default_office_floorplan
 from repro.wlan.multilink import MultiApChannel, MultiApTraces
+from repro.wlan.scheduler import SchedulingSession, simulate_scheduling
 from repro.wlan.stack import (
     StackComponents,
     StackRunResult,
+    StackSession,
     default_stack,
     mobility_aware_stack,
     simulate_stack,
@@ -16,12 +26,18 @@ __all__ = [
     "Floorplan",
     "MultiApChannel",
     "MultiApTraces",
+    "MultiLinkChannel",
+    "SchedulingSession",
+    "Session",
+    "SimulationEngine",
     "StackComponents",
     "StackRunResult",
+    "StackSession",
     "TcpModel",
     "default_office_floorplan",
     "default_stack",
     "mobility_aware_stack",
+    "simulate_scheduling",
     "simulate_stack",
     "udp_throughput_mbps",
 ]

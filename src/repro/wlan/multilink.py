@@ -8,7 +8,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.channel.config import ChannelConfig
-from repro.channel.model import ChannelTrace, LinkChannel
+from repro.channel.model import ChannelTrace, LinkChannel, MultiLinkChannel
 from repro.mobility.environment import EnvironmentProcess
 from repro.mobility.trajectory import TrajectoryTrace
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
@@ -64,14 +64,16 @@ class MultiApChannel:
         self.environment = environment
         rng = ensure_rng(seed)
         seeds = spawn_rngs(rng, floorplan.n_aps)
-        self._links = [
-            LinkChannel(ap, config, environment=environment, seed=s)
-            for ap, s in zip(floorplan.ap_positions, seeds)
-        ]
+        self._batch = MultiLinkChannel(
+            [
+                LinkChannel(ap, config, environment=environment, seed=s)
+                for ap, s in zip(floorplan.ap_positions, seeds)
+            ]
+        )
 
     @property
     def links(self) -> List[LinkChannel]:
-        return self._links
+        return self._batch.links
 
     def evaluate(
         self,
@@ -85,12 +87,20 @@ class MultiApChannel:
         Channel samples are taken every ``sample_interval_s`` (coarser than
         the trajectory grid); ``include_h_for`` lists AP indices that need
         full CSI (e.g. only the classifier's serving AP) to bound memory.
+
+        Evaluation goes through :class:`MultiLinkChannel`; the scalar
+        kernel (``batched=False``) is kept here so that every seeded
+        paper-facing result stays bit-identical to the historical per-link
+        evaluation order.
         """
         stride = max(1, int(round(sample_interval_s / trajectory.dt)))
         times = trajectory.times[::stride]
         positions = trajectory.positions[::stride]
-        traces = []
-        for index, link in enumerate(self._links):
-            want_h = include_h or (include_h_for is not None and index in include_h_for)
-            traces.append(link.evaluate(times, positions, include_h=want_h))
+        traces = self._batch.evaluate_many(
+            times,
+            [positions] * len(self._batch),
+            include_h=include_h,
+            include_h_for=include_h_for,
+            batched=False,
+        )
         return MultiApTraces(floorplan=self.floorplan, trajectory=trajectory, traces=traces)

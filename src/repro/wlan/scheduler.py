@@ -15,7 +15,10 @@ module implements that idea for a single AP serving several clients:
   approaches.
 
 The simulator time-slices at frame granularity: in each slot the scheduler
-picks one client; the frame outcome updates its throughput account.
+picks one client; the frame outcome updates its throughput account.  The
+run itself is a :class:`SchedulingSession` driven by
+:class:`repro.sim.SimulationEngine` — the session transmits frames inside
+each engine step window, carrying its frame clock across steps.
 """
 
 from __future__ import annotations
@@ -27,10 +30,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.channel.model import ChannelTrace
+from repro.channel.perturbations import LinkPerturbations
 from repro.core.hints import MobilityEstimate
 from repro.mac.aggregation import FrameTransmitter
+from repro.phy.error import ErrorModel
 from repro.rate.atheros import AtherosRateAdaptation
 from repro.rate.base import RateAdapter
+from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
 from repro.util.filters import ExponentialMovingAverage
 from repro.util.rng import SeedLike, ensure_rng
 
@@ -161,6 +167,122 @@ class ScheduleRunResult:
         return float(np.sum(rates) ** 2 / (len(rates) * np.sum(rates**2)))
 
 
+class SchedulingSession(Session):
+    """One AP time-slicing transmit opportunities among several clients.
+
+    The whole AP (scheduler, per-client rate controllers, per-client
+    fading) is *one* session: arbitration between clients happens inside
+    its ``transmit`` phase at frame granularity.  The frame clock carries
+    across engine steps, so A-MPDUs freely straddle step boundaries exactly
+    as in the historical free-running loop.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        traces: Sequence[ChannelTrace],
+        hints: Optional[Sequence[Sequence[MobilityEstimate]]] = None,
+        adapters: Optional[Sequence[RateAdapter]] = None,
+        aggregation_time_s: float = 0.004,
+        transmitter_seed: SeedLike = 0,
+        client: str = "ap",
+    ) -> None:
+        n_clients = len(traces)
+        if n_clients < 2:
+            raise ValueError("scheduling needs at least two clients")
+        n = len(traces[0])
+        for trace in traces:
+            if len(trace) != n:
+                raise ValueError("client traces must share the time grid")
+        self.client = client
+        self.scheduler = scheduler
+        self.traces = traces
+        self.hints = [()] * n_clients if hints is None else hints
+        self.adapters = (
+            [AtherosRateAdaptation() for _ in range(n_clients)]
+            if adapters is None
+            else adapters
+        )
+        self.aggregation_time_s = aggregation_time_s
+
+        rng = ensure_rng(transmitter_seed)
+        self._transmitter = FrameTransmitter(seed=rng)
+        self._error_model = ErrorModel()
+        times = traces[0].times
+        self._times = times
+        self._n = n
+        self._start = float(times[0])
+        self._end = float(times[-1])
+        self._now = self._start
+        # Independent per-client small-scale fading: the multiuser diversity
+        # an opportunistic scheduler exists to harvest.
+        self._fades = [
+            LinkPerturbations(self._start, self._end + 1.0, seed=int(rng.integers(0, 2**31)))
+            for _ in range(n_clients)
+        ]
+        self._hint_cursor = [0] * n_clients
+        self._delivered = [0] * n_clients
+        self._slots = [0] * n_clients
+
+    def transmit(self, clock: StepClock) -> None:
+        scheduler = self.scheduler
+        traces = self.traces
+        adapters = self.adapters
+        window_end = min(clock.end_s, self._end)
+        while self._now < window_end:
+            now = self._now
+            index = int(np.searchsorted(self._times, now, side="right") - 1)
+            index = min(max(index, 0), self._n - 1)
+            estimates = []
+            snr_now = []
+            burst_now = []
+            for client in range(len(traces)):
+                client_hints = self.hints[client]
+                while (
+                    self._hint_cursor[client] < len(client_hints)
+                    and client_hints[self._hint_cursor[client]].time_s <= now
+                ):
+                    hint = client_hints[self._hint_cursor[client]]
+                    scheduler.update_hint(client, hint)
+                    adapters[client].update_hint(hint)
+                    self._hint_cursor[client] += 1
+                trace = traces[client]
+                fade_db, in_burst = self._fades[client].advance(
+                    now, float(trace.doppler_hz[index])
+                )
+                snr = float(trace.per_snr_db()[index]) + fade_db
+                snr_now.append(snr)
+                burst_now.append(in_burst)
+                # The AP's CQI: expected goodput at the client's current SNR
+                # (estimated from the most recent exchange).
+                estimates.append(self._error_model.expected_goodput_mbps(snr))
+
+            chosen = scheduler.pick(now, estimates)
+            trace = traces[chosen]
+            mcs = adapters[chosen].select(now)
+            tx_snr = snr_now[chosen]
+            if burst_now[chosen]:
+                tx_snr -= self._fades[chosen].config.interference_penalty_db
+            frame = self._transmitter.transmit(
+                mcs,
+                tx_snr,
+                float(trace.doppler_hz[index]),
+                self.aggregation_time_s,
+                mimo_condition_db=float(trace.mimo_condition_db[index]),
+            )
+            adapters[chosen].observe(now, frame)
+            self._delivered[chosen] += frame.delivered_bytes
+            self._slots[chosen] += 1
+            served_mbps = frame.delivered_bytes * 8 / max(frame.airtime_s, 1e-9) / 1e6
+            scheduler.account(chosen, served_mbps)
+            self._now = now + frame.airtime_s
+
+    def finish(self) -> ScheduleRunResult:
+        duration = self._now - self._start
+        per_client = [bytes_ * 8 / duration / 1e6 for bytes_ in self._delivered]
+        return ScheduleRunResult(per_client_mbps=per_client, slots_served=self._slots)
+
+
 def simulate_scheduling(
     scheduler: Scheduler,
     traces: Sequence[ChannelTrace],
@@ -175,85 +297,20 @@ def simulate_scheduling(
     scheduler sees each client's current expected rate (its controller's
     chosen MCS discounted by that rate's PER estimate — information the AP
     genuinely has) and picks one per transmit opportunity.
+
+    .. deprecated:: 1.1
+        This is now a thin shim over :class:`repro.sim.SimulationEngine`
+        with a :class:`SchedulingSession`; build those directly to co-run
+        the scheduler with other sessions on one grid.
     """
-    n_clients = len(traces)
-    if n_clients < 2:
-        raise ValueError("scheduling needs at least two clients")
-    n = len(traces[0])
-    for trace in traces:
-        if len(trace) != n:
-            raise ValueError("client traces must share the time grid")
-    if hints is None:
-        hints = [()] * n_clients
-    if adapters is None:
-        adapters = [AtherosRateAdaptation() for _ in range(n_clients)]
-
-    rng = ensure_rng(transmitter_seed)
-    transmitter = FrameTransmitter(seed=rng)
-    from repro.channel.perturbations import LinkPerturbations
-    from repro.phy.error import ErrorModel
-
-    error_model = ErrorModel()
-    times = traces[0].times
-    end = float(times[-1])
-    now = float(times[0])
-    # Independent per-client small-scale fading: the multiuser diversity
-    # an opportunistic scheduler exists to harvest.
-    fades = [
-        LinkPerturbations(now, end + 1.0, seed=int(rng.integers(0, 2**31)))
-        for _ in range(n_clients)
-    ]
-    hint_cursor = [0] * n_clients
-    delivered = [0] * n_clients
-    slots = [0] * n_clients
-
-    while now < end:
-        index = int(np.searchsorted(times, now, side="right") - 1)
-        index = min(max(index, 0), n - 1)
-        estimates = []
-        snr_now = []
-        burst_now = []
-        for client in range(n_clients):
-            client_hints = hints[client]
-            while (
-                hint_cursor[client] < len(client_hints)
-                and client_hints[hint_cursor[client]].time_s <= now
-            ):
-                hint = client_hints[hint_cursor[client]]
-                scheduler.update_hint(client, hint)
-                adapters[client].update_hint(hint)
-                hint_cursor[client] += 1
-            trace = traces[client]
-            fade_db, in_burst = fades[client].advance(
-                now, float(trace.doppler_hz[index])
-            )
-            snr = float(trace.per_snr_db()[index]) + fade_db
-            snr_now.append(snr)
-            burst_now.append(in_burst)
-            # The AP's CQI: expected goodput at the client's current SNR
-            # (estimated from the most recent exchange).
-            estimates.append(error_model.expected_goodput_mbps(snr))
-
-        chosen = scheduler.pick(now, estimates)
-        trace = traces[chosen]
-        mcs = adapters[chosen].select(now)
-        tx_snr = snr_now[chosen]
-        if burst_now[chosen]:
-            tx_snr -= fades[chosen].config.interference_penalty_db
-        frame = transmitter.transmit(
-            mcs,
-            tx_snr,
-            float(trace.doppler_hz[index]),
-            aggregation_time_s,
-            mimo_condition_db=float(trace.mimo_condition_db[index]),
-        )
-        adapters[chosen].observe(now, frame)
-        delivered[chosen] += frame.delivered_bytes
-        slots[chosen] += 1
-        served_mbps = frame.delivered_bytes * 8 / max(frame.airtime_s, 1e-9) / 1e6
-        scheduler.account(chosen, served_mbps)
-        now += frame.airtime_s
-
-    duration = now - float(times[0])
-    per_client = [bytes_ * 8 / duration / 1e6 for bytes_ in delivered]
-    return ScheduleRunResult(per_client_mbps=per_client, slots_served=slots)
+    session = SchedulingSession(
+        scheduler,
+        traces,
+        hints=hints,
+        adapters=adapters,
+        aggregation_time_s=aggregation_time_s,
+        transmitter_seed=transmitter_seed,
+    )
+    engine = SimulationEngine(TimeGrid(traces[0].times))
+    engine.add(session)
+    return engine.run()[session.client]

@@ -6,10 +6,12 @@ mobility from CSI/ToF and feeds the estimate to all four protocols
 stock fixed parameters (client-default roaming, alpha = 1/8 Atheros RA,
 4 ms aggregation, 200 ms CSI feedback).
 
-Simulation structure: an outer decision loop at the channel sampling
-cadence (sensing, classification, roaming), and an inner frame loop that
-transmits A-MPDUs back-to-back within each step, charging CSI-feedback
-airtime when the scheduler fires.
+Simulation structure: the outer decision loop at the channel sampling
+cadence is owned by :class:`repro.sim.SimulationEngine`; this module only
+provides :class:`StackSession` — the per-step behaviour (sensing,
+classification, roaming, then an inner frame loop that transmits A-MPDUs
+back-to-back within each step, charging CSI-feedback airtime when the
+scheduler fires).
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ from repro.rate.base import RateAdapter
 from repro.rate.mobility_aware import MobilityAwareAtherosRA
 from repro.roaming.base import NeighborObservation, RoamingContext, RoamingScheme
 from repro.roaming.schemes import ControllerRoaming, DefaultClientRoaming
+from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.wlan.multilink import MultiApTraces
 from repro.wlan.traffic import TcpModel
@@ -276,48 +279,67 @@ class _StackSimulation:
         self.n_feedbacks += 1
 
 
-def simulate_stack(
-    multi: MultiApTraces,
-    components: StackComponents,
-    error_model: ErrorModel = ErrorModel(),
-    classifier_config: ClassifierConfig = ClassifierConfig(),
-    tof_config: ToFConfig = ToFConfig(),
-    seed: SeedLike = None,
-) -> StackRunResult:
-    """Run one arm (aware or default) over a multi-AP walk."""
-    sim = _StackSimulation(multi, components, error_model, classifier_config, tof_config, seed)
-    components.roaming.reset()
-    components.rate.reset()
-    components.feedback.reset()
-    ctx = _StackContext(sim)
+class StackSession(Session):
+    """One client's integrated AP stack as an engine session.
 
-    times = multi.times
-    n = len(times)
-    dt_step = float(times[1] - times[0]) if n > 1 else 0.1
-    goodput = np.zeros(n)
-    ap_timeline = np.empty(n, dtype=int)
-    estimates: List = []
+    Phases map one-to-one onto the historical loop body: ``sense`` ingests
+    ToF/CSI up to the step instant, ``classify`` records the classifier's
+    current estimate, ``adapt`` runs the roaming decision, and ``transmit``
+    spends the step window on back-to-back A-MPDUs and CSI feedback.
+    """
 
-    for i in range(n):
-        sim.step_index = i
-        sim.now_s = float(times[i])
+    def __init__(
+        self,
+        multi: MultiApTraces,
+        components: StackComponents,
+        error_model: ErrorModel = ErrorModel(),
+        classifier_config: ClassifierConfig = ClassifierConfig(),
+        tof_config: ToFConfig = ToFConfig(),
+        seed: SeedLike = None,
+        client: str = "client",
+    ) -> None:
+        self.client = client
+        self.components = components
+        self._sim = _StackSimulation(
+            multi, components, error_model, classifier_config, tof_config, seed
+        )
+        components.roaming.reset()
+        components.rate.reset()
+        components.feedback.reset()
+        self._ctx = _StackContext(self._sim)
+        n = len(multi.times)
+        self._goodput = np.zeros(n)
+        self._ap_timeline = np.empty(n, dtype=int)
+        self._estimates: List = []
+
+    def sense(self, clock: StepClock) -> None:
+        sim = self._sim
+        sim.step_index = clock.index
+        sim.now_s = clock.start_s
         sim.advance_sensing(sim.now_s)
-        if sim.classifier.estimate is not None and (
-            not estimates or estimates[-1] is not sim.classifier.estimate
-        ):
-            estimates.append(sim.classifier.estimate)
 
-        decision = components.roaming.decide(ctx)
+    def classify(self, clock: StepClock) -> None:
+        sim = self._sim
+        if sim.classifier.estimate is not None and (
+            not self._estimates or self._estimates[-1] is not sim.classifier.estimate
+        ):
+            self._estimates.append(sim.classifier.estimate)
+
+    def adapt(self, clock: StepClock) -> None:
+        sim = self._sim
+        decision = self.components.roaming.decide(self._ctx)
         if decision.wants_roam and decision.target_ap != sim.current_ap:
             sim.perform_handoff(int(decision.target_ap), decision.forced)
-        ap_timeline[i] = sim.current_ap
+        self._ap_timeline[clock.index] = sim.current_ap
 
-        step_end = sim.now_s + dt_step
+    def transmit(self, clock: StepClock) -> None:
+        sim = self._sim
+        components = self.components
         t = max(sim.now_s, sim._outage_until)
         delivered_bytes = 0
         trace = sim.multi.traces[sim.current_ap]
-        doppler = float(trace.doppler_hz[i])
-        while t < step_end:
+        doppler = float(trace.doppler_hz[clock.index])
+        while t < clock.end_s:
             if components.feedback.due(t):
                 sim.refresh_beamforming_weights()
                 components.feedback.mark(t)
@@ -338,14 +360,39 @@ def simulate_stack(
             components.rate.observe(t, frame)
             delivered_bytes += frame.delivered_bytes
             t += frame.airtime_s
-        goodput[i] = delivered_bytes * 8 / dt_step / 1e6
+        self._goodput[clock.index] = delivered_bytes * 8 / clock.dt_s / 1e6
 
-    return StackRunResult(
-        times=np.asarray(times, dtype=float),
-        goodput_mbps=goodput,
-        ap_timeline=ap_timeline,
-        n_handoffs=sim.n_handoffs,
-        n_scans=sim.n_scans,
-        n_feedbacks=sim.n_feedbacks,
-        estimates=estimates,
+    def finish(self) -> StackRunResult:
+        sim = self._sim
+        return StackRunResult(
+            times=np.asarray(sim.multi.times, dtype=float),
+            goodput_mbps=self._goodput,
+            ap_timeline=self._ap_timeline,
+            n_handoffs=sim.n_handoffs,
+            n_scans=sim.n_scans,
+            n_feedbacks=sim.n_feedbacks,
+            estimates=self._estimates,
+        )
+
+
+def simulate_stack(
+    multi: MultiApTraces,
+    components: StackComponents,
+    error_model: ErrorModel = ErrorModel(),
+    classifier_config: ClassifierConfig = ClassifierConfig(),
+    tof_config: ToFConfig = ToFConfig(),
+    seed: SeedLike = None,
+) -> StackRunResult:
+    """Run one arm (aware or default) over a multi-AP walk.
+
+    .. deprecated:: 1.1
+        This is now a thin shim over :class:`repro.sim.SimulationEngine`
+        with a :class:`StackSession`; build those directly for multi-client
+        runs or custom phase mixes.
+    """
+    session = StackSession(
+        multi, components, error_model, classifier_config, tof_config, seed
     )
+    engine = SimulationEngine(TimeGrid(multi.times))
+    engine.add(session)
+    return engine.run()[session.client]

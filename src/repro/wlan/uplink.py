@@ -23,7 +23,8 @@ from repro.channel.model import ChannelTrace
 from repro.core.hints import MobilityEstimate
 from repro.mac.aggregation import FrameTransmitter
 from repro.rate.base import RateAdapter
-from repro.rate.simulator import RateRunResult, simulate_rate_control
+from repro.rate.simulator import RateControlSession, RateRunResult
+from repro.sim.engine import SimulationEngine, TimeGrid
 from repro.util.rng import SeedLike
 
 
@@ -68,6 +69,10 @@ def simulate_uplink(
     uplink SNR/Doppler identical.  ``hints`` are the AP classifier's
     estimates (e.g. from ``sense_and_classify``); they reach the client's
     rate controller and aggregation policy ``hint_delay_s`` late.
+
+    The uplink is one :class:`repro.rate.simulator.RateControlSession` on
+    the engine grid — the same frame machinery as the downlink, configured
+    with delayed hints and the hint-driven aggregation policy.
     """
     del seed  # reserved for future client-side randomness
     delayed = delay_hints(hints, hint_delay_s)
@@ -80,11 +85,14 @@ def simulate_uplink(
             cursor["i"] += 1
         return aggregation.aggregation_time_s(now_s)
 
-    result = simulate_rate_control(
+    session = RateControlSession(
         adapter,
         trace,
         transmitter=transmitter,
         aggregation_time_fn=aggregation_time,
         hints=delayed,
     )
+    engine = SimulationEngine(TimeGrid(trace.times))
+    engine.add(session)
+    result = engine.run()[session.client]
     return UplinkRunResult(rate_result=result, hint_delay_s=hint_delay_s)

@@ -1,0 +1,188 @@
+"""Unit tests for the unified simulation engine (``repro.sim``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig
+from repro.sim import (
+    PHASES,
+    SensingSession,
+    Session,
+    SessionError,
+    SimulationEngine,
+    StepClock,
+    TimeGrid,
+)
+
+
+class RecordingSession(Session):
+    """Appends (client, phase, step index) to a shared journal."""
+
+    def __init__(self, client, journal):
+        self.client = client
+        self.journal = journal
+
+    def _record(self, phase, clock):
+        self.journal.append((self.client, phase, clock.index))
+
+    def sense(self, clock):
+        self._record("sense", clock)
+
+    def classify(self, clock):
+        self._record("classify", clock)
+
+    def adapt(self, clock):
+        self._record("adapt", clock)
+
+    def transmit(self, clock):
+        self._record("transmit", clock)
+
+    def finish(self):
+        return self.client
+
+
+class TestPhaseOrdering:
+    def test_phase_major_across_sessions(self):
+        """Per step, every session runs a phase before any session moves on."""
+        journal = []
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        engine.add(RecordingSession("a", journal))
+        engine.add(RecordingSession("b", journal))
+        results = engine.run()
+
+        expected = [
+            (client, phase, index)
+            for index in (0, 1)
+            for phase in PHASES
+            for client in ("a", "b")
+        ]
+        assert journal == expected
+        assert results == {"a": "a", "b": "b"}
+
+    def test_phases_are_the_papers_pipeline(self):
+        assert PHASES == ("sense", "classify", "adapt", "transmit")
+
+
+class TestTimeGrid:
+    def test_clock_windows_tile_the_grid(self):
+        grid = TimeGrid(np.arange(0.0, 1.0, 0.1))
+        clocks = [grid.clock(i) for i in range(len(grid))]
+        for earlier, later in zip(clocks, clocks[1:]):
+            assert later.start_s == pytest.approx(earlier.end_s)
+        assert clocks[0].dt_s == pytest.approx(0.1)
+
+    def test_stride_matches_csi_sampling_period(self):
+        """The default CSI cadence maps exactly onto the 100 ms channel grid."""
+        config = ClassifierConfig()
+        grid = TimeGrid(np.arange(0.0, 10.0, 0.1))
+        stride = grid.stride_for(config.csi_sampling_period_s)
+        assert stride == round(config.csi_sampling_period_s / 0.1)
+        assert stride * grid.dt_s == pytest.approx(config.csi_sampling_period_s)
+
+    def test_strict_stride_rejects_misaligned_period(self):
+        grid = TimeGrid(np.arange(0.0, 10.0, 0.1))
+        with pytest.raises(ValueError, match="not aligned"):
+            grid.stride_for(0.13)
+
+    def test_lenient_stride_rounds(self):
+        grid = TimeGrid(np.arange(0.0, 10.0, 0.1))
+        assert grid.stride_for(0.13, strict=False) == 1
+        assert grid.stride_for(0.26, strict=False) == 3
+
+    def test_rejects_non_uniform_grid(self):
+        with pytest.raises(ValueError, match="uniform"):
+            TimeGrid(np.array([0.0, 0.1, 0.3]))
+
+    def test_rejects_decreasing_grid(self):
+        with pytest.raises(ValueError, match="increasing"):
+            TimeGrid(np.array([0.3, 0.2, 0.1]))
+
+    def test_index_at_clamps(self):
+        grid = TimeGrid(np.arange(0.0, 1.0, 0.1))
+        assert grid.index_at(-5.0) == 0
+        assert grid.index_at(0.55) == 5
+        assert grid.index_at(99.0) == len(grid) - 1
+
+
+class TestSessionError:
+    def test_failure_names_client_phase_and_time(self):
+        class Exploding(Session):
+            client = "tablet-3"
+
+            def adapt(self, clock):
+                raise KeyError("missing rate table")
+
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        engine.add(Exploding())
+        with pytest.raises(SessionError) as excinfo:
+            engine.run()
+        assert "tablet-3" in str(excinfo.value)
+        assert "adapt" in str(excinfo.value)
+        assert excinfo.value.client == "tablet-3"
+        assert excinfo.value.phase == "adapt"
+        assert excinfo.value.time_s == pytest.approx(0.0)
+
+    def test_start_failures_are_wrapped_too(self):
+        classifier = object()  # never consulted: the CSI count check fails first
+        session = SensingSession(classifier, csi_by_step=[1, 2, 3], client="laptop")
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        engine.add(session)
+        with pytest.raises(SessionError, match="laptop.*start"):
+            engine.run()
+
+
+class TestEngineRegistration:
+    def test_run_without_sessions_raises(self):
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        with pytest.raises(ValueError, match="no sessions"):
+            engine.run()
+
+    def test_duplicate_client_names_rejected(self):
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        engine.add(RecordingSession("a", []))
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.add(RecordingSession("a", []))
+
+    def test_engine_is_single_use(self):
+        """Sessions are stateful; a silent second run would continue them."""
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1])))
+        engine.add(RecordingSession("a", []))
+        engine.run()
+        with pytest.raises(RuntimeError, match="already ran"):
+            engine.run()
+
+
+class TestSensingSession:
+    def test_tof_readings_must_pair_with_times(self):
+        with pytest.raises(ValueError, match="pair"):
+            SensingSession(object(), [1.0], tof_times=[0.0, 0.1], tof_readings=[5.0])
+
+    def test_estimates_stream_in_decision_order(self):
+        class FakeClassifier:
+            wants_tof = True
+
+            def __init__(self):
+                self.tof = []
+
+            def push_tof(self, time_s, reading):
+                self.tof.append((time_s, reading))
+
+            def push_csi(self, time_s, sample):
+                return (time_s, sample) if sample % 2 == 0 else None
+
+        classifier = FakeClassifier()
+        seen = []
+        session = SensingSession(
+            classifier,
+            csi_by_step=[0, 1, 2],
+            tof_times=[0.0, 0.05, 0.15],
+            tof_readings=[7.0, 8.0, 9.0],
+            on_estimate=lambda now, est: seen.append(now),
+        )
+        engine = SimulationEngine(TimeGrid(np.array([0.0, 0.1, 0.2])))
+        engine.add(session)
+        estimates = engine.run()[session.client]
+        # ToF readings arrive before the step's CSI decision, in timestamp order.
+        assert classifier.tof == [(0.0, 7.0), (0.05, 8.0), (0.15, 9.0)]
+        assert estimates == [(0.0, 0), (0.2, 2)]
+        assert seen == [0.0, 0.2]
