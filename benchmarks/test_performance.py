@@ -7,6 +7,9 @@ and ZF precoding.  They guard against performance regressions in the
 simulator, whose experiments run millions of frames.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -119,6 +122,36 @@ class _StepCountingSession(Session):
         return self.steps
 
 
+#: Machine-readable scaling results, written next to the repo root once all
+#: parametrized client counts have run (consumed by CI as an artifact).
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine_scaling.json"
+_SCALING_CLIENT_COUNTS = (1, 8, 32)
+_scaling_results = {}
+
+
+def _record_scaling_result(n_clients, benchmark, channel):
+    entry = {"n_clients": n_clients}
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None:
+        entry["mean_s"] = float(stats.mean)
+        entry["min_s"] = float(stats.min)
+        entry["rounds"] = int(stats.rounds)
+    entry["n_batched_calls"] = int(channel.n_batched_calls)
+    entry["last_batch_size"] = int(channel.last_batch_size)
+    entry["scalar_link_calls"] = int(
+        sum(link.n_evaluate_calls for link in channel.links)
+    )
+    _scaling_results[n_clients] = entry
+    if all(n in _scaling_results for n in _SCALING_CLIENT_COUNTS):
+        payload = {
+            "benchmark": "engine_multi_client_scaling",
+            "sample_interval_s": 0.1,
+            "duration_s": 5.0,
+            "results": [_scaling_results[n] for n in _SCALING_CLIENT_COUNTS],
+        }
+        BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 @pytest.mark.parametrize("n_clients", [1, 8, 32])
 def test_perf_engine_multi_client_scaling(benchmark, n_clients):
     """Engine step cost while serving N clients on one shared grid.
@@ -142,6 +175,7 @@ def test_perf_engine_multi_client_scaling(benchmark, n_clients):
         return channel, engine.run()
 
     channel, results = benchmark(run)
+    _record_scaling_result(n_clients, benchmark, channel)
     assert len(results) == n_clients
     assert all(steps == len(trajectories[0].times[::2]) for steps in results.values())
     if n_clients > 1:

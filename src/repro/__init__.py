@@ -12,6 +12,7 @@ The public API in one breath::
         LinkChannel, ChannelConfig,  # the wireless substrate
         MultiLinkChannel,            # batched multi-client evaluation
         SimulationEngine, Session,   # the unified protocol loop
+        TelemetryRecorder,           # observability: metrics/trace/profile
         MobilityMode, Heading,
     )
 
@@ -37,11 +38,20 @@ from repro.mobility import (
     MobilityScenario,
 )
 from repro.sim import Session, SessionError, SimulationEngine, TimeGrid
+from repro.telemetry import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    TelemetryRecorder,
+    Tracer,
+)
 from repro.util.geometry import Point
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "NULL_RECORDER",
     "ChannelConfig",
     "ChannelTrace",
     "ClassifierConfig",
@@ -49,18 +59,23 @@ __all__ = [
     "GroundTruth",
     "Heading",
     "LinkChannel",
+    "MetricsRegistry",
     "MobilityClassifier",
     "MobilityEstimate",
     "MobilityMode",
     "MobilityPolicy",
     "MobilityScenario",
     "MultiLinkChannel",
+    "NullRecorder",
     "Point",
     "PolicyTable",
+    "Recorder",
     "Session",
     "SessionError",
     "SimulationEngine",
+    "TelemetryRecorder",
     "TimeGrid",
+    "Tracer",
     "csi_similarity",
     "default_policy_table",
     "__version__",

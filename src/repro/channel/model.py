@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.channel.config import ChannelConfig
 from repro.channel.paths import PathSet, draw_path_set, steering_vector
 from repro.channel.propagation import ShadowingProcess, path_loss_db
 from repro.mobility.environment import EnvironmentProcess
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.geometry import Point
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.util.units import SPEED_OF_LIGHT
@@ -332,6 +334,8 @@ class LinkChannel:
         self.structure_decorrelation_m = 2.5
         #: scalar-path call accounting (the batched path does not bump it).
         self.n_evaluate_calls = 0
+        #: telemetry sink for scalar evaluation timing (no-op by default).
+        self.recorder: Recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ setup
 
@@ -384,11 +388,23 @@ class LinkChannel:
         produced (cheaper for long MAC-level simulations).
         """
         self.n_evaluate_calls += 1
+        live = self.recorder.enabled
+        t0 = perf_counter() if live else 0.0
         plan = self._prepare_evaluation(times, positions)
         fading, selective, condition_db, h_store = _raysum_link(
             plan, self.config.n_tx, self.config.n_rx, include_h, chunk_size
         )
-        return self._finish_evaluation(plan, fading, selective, condition_db, h_store)
+        trace = self._finish_evaluation(plan, fading, selective, condition_db, h_store)
+        if live:
+            self.recorder.channel_eval(
+                "link_evaluate",
+                batch_size=1,
+                n_samples=plan.n,
+                elapsed_s=perf_counter() - t0,
+                time_s=float(plan.times[0]),
+                batched=False,
+            )
+        return trace
 
     def _prepare_evaluation(self, times: np.ndarray, positions: np.ndarray) -> _LinkEvalPlan:
         """Advance the link's stochastic state and lay out the ray sum."""
@@ -666,6 +682,18 @@ class MultiLinkChannel:
         self.n_calls = 0
         self.n_batched_calls = 0
         self.last_batch_size = 0
+        self._recorder: Recorder = NULL_RECORDER
+
+    @property
+    def recorder(self) -> Recorder:
+        """Telemetry sink; assigning also rebinds every member link."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, recorder: Recorder) -> None:
+        self._recorder = recorder
+        for link in self._links:
+            link.recorder = recorder
 
     @classmethod
     def for_clients(
@@ -729,6 +757,8 @@ class MultiLinkChannel:
             include_h or (include_h_for is not None and index in include_h_for)
             for index in range(len(self._links))
         ]
+        live = self._recorder.enabled
+        t0 = perf_counter() if live else 0.0
         plans = [
             link._prepare_evaluation(times, positions)
             for link, positions in zip(self._links, positions_per_client)
@@ -741,12 +771,22 @@ class MultiLinkChannel:
             fading, selective, condition_db, h_stores = _raysum_batched(
                 plans, cfg.n_tx, cfg.n_rx, wants, chunk_size
             )
-            return [
+            traces = [
                 link._finish_evaluation(
                     plan, fading[i], selective[i], condition_db[i], h_stores[i]
                 )
                 for i, (link, plan) in enumerate(zip(self._links, plans))
             ]
+            if live:
+                self._recorder.channel_eval(
+                    "evaluate_many",
+                    batch_size=len(plans),
+                    n_samples=plans[0].n,
+                    elapsed_s=perf_counter() - t0,
+                    time_s=float(plans[0].times[0]),
+                    batched=True,
+                )
+            return traces
         traces = []
         for link, plan, want in zip(self._links, plans, wants):
             fading, selective, condition_db, h_store = _raysum_link(
@@ -754,5 +794,14 @@ class MultiLinkChannel:
             )
             traces.append(
                 link._finish_evaluation(plan, fading, selective, condition_db, h_store)
+            )
+        if live:
+            self._recorder.channel_eval(
+                "evaluate_many",
+                batch_size=len(plans),
+                n_samples=plans[0].n,
+                elapsed_s=perf_counter() - t0,
+                time_s=float(plans[0].times[0]),
+                batched=False,
             )
         return traces

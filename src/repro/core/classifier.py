@@ -27,6 +27,7 @@ from repro.core.hints import MobilityEstimate
 from repro.core.similarity import csi_similarity
 from repro.core.tof_trend import ToFTrendConfig, ToFTrendDetector
 from repro.mobility.modes import Heading, MobilityMode
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.filters import SlidingStatistics
 
 
@@ -55,6 +56,11 @@ class ClassifierConfig:
 
 class MobilityClassifier:
     """Streaming implementation of the Fig. 5 classification design."""
+
+    #: Telemetry sink (bound by the owning session; shared no-op default)
+    #: and the client label stamped on emitted verdict events.
+    recorder: Recorder = NULL_RECORDER
+    telemetry_client: Optional[str] = None
 
     def __init__(self, config: ClassifierConfig = ClassifierConfig()) -> None:
         self.config = config
@@ -105,9 +111,32 @@ class MobilityClassifier:
         self._previous_csi = csi
         self._similarity_stats.push(similarity)
         smoothed = self._similarity_stats.mean()
+        previous = self._estimate
         decision = self._decide(time_s, smoothed)
         self._estimate = decision
         self._history.append(decision)
+        recorder = self.recorder
+        if recorder.enabled:
+            client = self.telemetry_client
+            recorder.count("classifier.decisions", client=client)
+            recorder.count(f"classifier.mode.{decision.mode.value}", client=client)
+            recorder.event(
+                "classifier_verdict",
+                time_s,
+                client=client,
+                mode=decision.mode.value,
+                heading=decision.heading.value,
+                similarity=smoothed,
+                tof_window_full=decision.tof_window_full,
+            )
+            if previous is not None and previous.mode != decision.mode:
+                recorder.event(
+                    "hint_transition",
+                    time_s,
+                    client=client,
+                    from_mode=previous.mode.value,
+                    to_mode=decision.mode.value,
+                )
         return decision
 
     # ---------------------------------------------------------------- logic

@@ -26,6 +26,7 @@ from repro.mobility.modes import MODE_ORDER, GroundTruth, Heading, MobilityMode
 from repro.mobility.scenarios import MobilityScenario
 from repro.phy.tof import ToFConfig, ToFSampler
 from repro.sim import SensingSession, SimulationEngine, TimeGrid
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.geometry import Point
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs, stable_seed
 
@@ -106,6 +107,7 @@ def classification_decisions(
     warmup_s: float = 5.0,
     grace_s: float = 0.0,
     seed: SeedLike = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ClassificationOutcome:
     """Run the full sensing pipeline once and score every decision.
 
@@ -161,7 +163,7 @@ def classification_decisions(
         tof_readings=tof_readings,
         on_estimate=score,
     )
-    engine = SimulationEngine(TimeGrid(trace.times))
+    engine = SimulationEngine(TimeGrid(trace.times), recorder=recorder)
     engine.add(session)
     engine.run()
     return outcome
@@ -268,6 +270,7 @@ def sense_and_classify(
     classifier_config: ClassifierConfig = ClassifierConfig(),
     tof_config: ToFConfig = ToFConfig(),
     seed: SeedLike = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SensedLink:
     """Evaluate one link end to end and run the classifier over it.
 
@@ -308,7 +311,7 @@ def sense_and_classify(
         tof_times=tof_times,
         tof_readings=tof_readings,
     )
-    engine = SimulationEngine(TimeGrid(trace.times[::csi_stride]))
+    engine = SimulationEngine(TimeGrid(trace.times[::csi_stride]), recorder=recorder)
     engine.add(session)
     hints: List[MobilityEstimate] = engine.run()[session.client]
     truths = scenario.ground_truth(trajectory, ap)

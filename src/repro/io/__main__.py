@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
 from repro.io.csitool import read_csitool_log, records_to_csi_stream
+from repro.telemetry.export import format_counts
 
 
 def _cmd_info(args) -> int:
@@ -30,7 +31,8 @@ def _cmd_info(args) -> int:
     rss = [r.total_rss_dbm() for r in records]
     print(f"records:    {len(records)}")
     print(f"duration:   {duration:.1f} s")
-    print(f"antennas:   {dict(rates)}")
+    print("antennas:")
+    print(format_counts({k: float(v) for k, v in rates.items()}, width=24))
     print(f"mean rate:  {len(records) / max(duration, 1e-9):.1f} packets/s")
     print(f"RSS:        median {np.median(rss):.1f} dBm "
           f"(p10 {np.percentile(rss, 10):.1f}, p90 {np.percentile(rss, 90):.1f})")
@@ -63,9 +65,14 @@ def _cmd_classify(args) -> int:
             previous = label
     total = sum(decisions.values())
     if total:
-        print("\nshare of decisions:")
-        for label, count in decisions.most_common():
-            print(f"  {label:<15} {100 * count / total:5.1f}%")
+        print()
+        print(
+            format_counts(
+                {label: float(count) for label, count in decisions.most_common()},
+                title="share of decisions:",
+                width=24,
+            )
+        )
     print(
         "\nnote: ToF readings are not present in CSI Tool logs, so macro"
         "\nmobility cannot be split from micro here (both report as micro)."

@@ -151,12 +151,24 @@ class RateControlSession(Session):
         adapter = self.adapter
         trace = self.trace
         hints = self._hints
+        live = self.recorder.enabled
         window_end = min(clock.end_s, self._end)
         while self._now < window_end:
             now = self._now
             while self._hint_index < len(hints) and hints[self._hint_index].time_s <= now:
-                adapter.update_hint(hints[self._hint_index])
+                hint = hints[self._hint_index]
+                adapter.update_hint(hint)
                 self._hint_index += 1
+                if live:
+                    self.recorder.count("rate.hints", client=self.client)
+                    self.recorder.event(
+                        "adaptation",
+                        now,
+                        client=self.client,
+                        action="hint_applied",
+                        mode=hint.mode.value,
+                        heading=hint.heading.value,
+                    )
 
             index = int(np.searchsorted(self._times, now, side="right") - 1)
             index = min(max(index, 0), len(self._times) - 1)
@@ -207,6 +219,9 @@ class RateControlSession(Session):
 
             self._delivered_bytes += frame.delivered_bytes
             self._n_frames += 1
+            if live:
+                self.recorder.count("rate.frames", client=self.client)
+                self.recorder.observe("rate.frame_airtime_s", frame.airtime_s, client=self.client)
             if self._record_timeline:
                 self._result_times.append(now)
                 self._result_mcs.append(mcs)
@@ -216,6 +231,8 @@ class RateControlSession(Session):
     def finish(self) -> RateRunResult:
         duration = self._now - self._start
         throughput = self._delivered_bytes * 8 / duration / 1e6 if duration > 0 else 0.0
+        if self.recorder.enabled:
+            self.recorder.gauge("rate.throughput_mbps", throughput, client=self.client)
         return RateRunResult(
             throughput_mbps=throughput,
             duration_s=duration,

@@ -19,6 +19,7 @@ engine's sense/classify/adapt/transmit phases.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,6 +38,7 @@ from repro.roaming.base import (
     RoamingScheme,
 )
 from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.wlan.multilink import MultiApTraces
 from repro.wlan.traffic import TcpModel
@@ -105,6 +107,11 @@ class _SimContext(RoamingContext):
 
 class _RoamingSimulation:
     """Mutable state of one run (kept separate from the public function)."""
+
+    #: Telemetry sink plus the client label stamped on emitted events
+    #: (bound by :meth:`RoamingSession.bind_recorder`).
+    recorder: Recorder = NULL_RECORDER
+    client_label: str = "client"
 
     def __init__(
         self,
@@ -184,12 +191,28 @@ class _RoamingSimulation:
     def charge_scan(self) -> None:
         self.n_scans += 1
         self._outage_until = max(self._outage_until, self.now_s + self.scan_outage_s)
+        if self.recorder.enabled:
+            self.recorder.count("scans", client=self.client_label)
+            self.recorder.event(
+                "adaptation", self.now_s, client=self.client_label, action="scan"
+            )
 
     def perform_handoff(self, target: int, forced: bool) -> None:
         cost = self.forced_handoff_outage_s if forced else self.handoff_outage_s
         self.handoffs.append(
             HandoffEvent(self.now_s, self.current_ap, target, forced_by_controller=forced)
         )
+        if self.recorder.enabled:
+            self.recorder.count("handoffs", client=self.client_label)
+            self.recorder.event(
+                "adaptation",
+                self.now_s,
+                client=self.client_label,
+                action="handoff",
+                from_ap=self.current_ap,
+                target_ap=target,
+                forced=forced,
+            )
         self.current_ap = target
         self._outage_until = max(self._outage_until, self.now_s + cost)
         # The new AP has no CSI/ToF history for this client yet.
@@ -279,6 +302,13 @@ class RoamingSession(Session):
         self._goodput = np.empty(n)
         self._ap_timeline = np.empty(n, dtype=int)
 
+    def bind_recorder(self, recorder: Recorder) -> None:
+        super().bind_recorder(recorder)
+        self._sim.recorder = recorder
+        self._sim.client_label = self.client
+        self._sim.classifier.recorder = recorder
+        self._sim.classifier.telemetry_client = self.client
+
     def start(self, grid: TimeGrid) -> None:
         del grid
         self.scheme.reset()
@@ -300,6 +330,13 @@ class RoamingSession(Session):
         self._goodput[clock.index] = self._sim.goodput_now()
 
     def finish(self) -> RoamingRunResult:
+        if self.recorder.enabled:
+            sim = self._sim
+            self.recorder.gauge("roaming.handoffs", float(len(sim.handoffs)), client=self.client)
+            self.recorder.gauge("roaming.scans", float(sim.n_scans), client=self.client)
+            self.recorder.gauge(
+                "roaming.mean_goodput_mbps", float(np.mean(self._goodput)), client=self.client
+            )
         return RoamingRunResult(
             times=np.asarray(self._sim.multi.times, dtype=float),
             goodput_mbps=self._goodput,
@@ -335,6 +372,12 @@ def simulate_roaming(
         with a :class:`RoamingSession`; build those directly to co-run
         roaming with other sessions on one grid.
     """
+    warnings.warn(
+        "simulate_roaming is deprecated since 1.1; build a RoamingSession on a "
+        "SimulationEngine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     session = RoamingSession(
         multi,
         scheme,

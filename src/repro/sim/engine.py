@@ -24,9 +24,12 @@ instead of N scalar per-link loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 
 #: Phase order of one engine step.  ``sense`` ingests observables (CSI,
 #: ToF, RSSI), ``classify`` turns them into mobility estimates, ``adapt``
@@ -119,6 +122,21 @@ class Session:
 
     client: str = "client"
 
+    #: Telemetry sink; the shared no-op recorder unless bound to a live one.
+    recorder: Recorder = NULL_RECORDER
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        """Attach a telemetry recorder (called by the engine at ``add``).
+
+        Subclasses that own instrumented components (classifiers, nested
+        simulations) override this to propagate the recorder into them.
+        """
+        self.recorder = recorder
+
+    def emit(self, kind: str, time_s: float, **fields: Any) -> None:
+        """Emit a trace event labelled with this session's client name."""
+        self.recorder.event(kind, time_s, client=self.client, **fields)
+
     def start(self, grid: TimeGrid) -> None:
         """Called once before the first step."""
 
@@ -163,8 +181,11 @@ class SimulationEngine:
 
     phases: Tuple[str, ...] = PHASES
 
-    def __init__(self, grid: "TimeGrid | np.ndarray") -> None:
+    def __init__(
+        self, grid: "TimeGrid | np.ndarray", recorder: Recorder = NULL_RECORDER
+    ) -> None:
         self.grid = grid if isinstance(grid, TimeGrid) else TimeGrid(grid)
+        self.recorder = recorder
         self._sessions: List[Session] = []
         self._ran = False
 
@@ -195,21 +216,40 @@ class SimulationEngine:
             # would continue from the first run's state.
             raise RuntimeError("engine already ran; build a fresh engine and sessions")
         self._ran = True
+        recorder = self.recorder
+        live = recorder.enabled
+        if live:
+            for session in self._sessions:
+                if not session.recorder.enabled:
+                    session.bind_recorder(recorder)
+            recorder.event(
+                "run_start",
+                self.grid.start_s,
+                n_steps=len(self.grid),
+                n_sessions=len(self._sessions),
+                dt_s=self.grid.dt_s,
+            )
         for session in self._sessions:
             self._guarded(session, "start", self.grid.start_s, lambda s=session: s.start(self.grid))
         for index in range(len(self.grid)):
             clock = self.grid.clock(index)
             for phase in self.phases:
+                t0 = perf_counter() if live else 0.0
                 for session in self._sessions:
                     self._guarded(
                         session, phase, clock.start_s, lambda s=session, p=phase: getattr(s, p)(clock)
                     )
-        return {
+                if live:
+                    recorder.phase_time(phase, index, clock.start_s, perf_counter() - t0)
+        results = {
             session.client: self._guarded(
                 session, "finish", self.grid.end_s, lambda s=session: s.finish()
             )
             for session in self._sessions
         }
+        if live:
+            recorder.event("run_end", self.grid.end_s, n_steps=len(self.grid))
+        return results
 
     # ------------------------------------------------------------ multi-client
 
@@ -221,6 +261,7 @@ class SimulationEngine:
         session_factory: Callable[[int, "ChannelTrace"], Session],
         sample_interval_s: float = 0.1,
         include_h: bool = False,
+        recorder: Recorder = NULL_RECORDER,
     ) -> "SimulationEngine":
         """Build an engine serving one session per client trajectory.
 
@@ -228,6 +269,8 @@ class SimulationEngine:
         batched :meth:`MultiLinkChannel.evaluate_many` call (falling back
         to the scalar path only for a single client), then
         ``session_factory(client_index, trace)`` builds each session.
+        A live ``recorder`` observes the channel evaluation too (batch
+        size and wall time surface as ``channel_batch`` events).
         """
         if len(trajectories) == 0:
             raise ValueError("need at least one client trajectory")
@@ -235,6 +278,8 @@ class SimulationEngine:
             raise ValueError(
                 f"{len(channel.links)} links cannot serve {len(trajectories)} clients"
             )
+        if recorder.enabled and not channel.recorder.enabled:
+            channel.recorder = recorder
         fine = TimeGrid(trajectories[0].times)
         stride = fine.stride_for(sample_interval_s, strict=False, name="sample_interval_s")
         times = trajectories[0].times[::stride]
@@ -247,7 +292,7 @@ class SimulationEngine:
             traces = channel.evaluate_many(times, positions, include_h=include_h)
         else:
             traces = [channel.links[0].evaluate(times, positions[0], include_h=include_h)]
-        engine = cls(TimeGrid(times))
+        engine = cls(TimeGrid(times), recorder=recorder)
         for index, trace in enumerate(traces):
             engine.add(session_factory(index, trace))
         return engine

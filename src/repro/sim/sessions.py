@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.sim.engine import Session, StepClock, TimeGrid
+from repro.telemetry.recorder import Recorder
 
 
 class SensingSession(Session):
@@ -41,6 +42,14 @@ class SensingSession(Session):
         self._tof_cursor = 0
         self._on_estimate = on_estimate
         self.estimates: List[Any] = []
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        super().bind_recorder(recorder)
+        # Propagate into the classifier so verdicts surface as events
+        # (duck-typed classifiers without the hook are left alone).
+        if hasattr(self.classifier, "recorder"):
+            self.classifier.recorder = recorder
+            self.classifier.telemetry_client = self.client
 
     def start(self, grid: TimeGrid) -> None:
         if len(self._csi) != len(grid):

@@ -1,0 +1,150 @@
+"""Exporters: JSONL event traces, CSV metrics dumps, run summary tables.
+
+The summary table is rendered in the same fixed-width, no-dependency
+style as :mod:`repro.util.textplot` — safe for CI logs — and
+:func:`format_counts` is the one shared renderer for every
+human-readable count table in the repository (run summaries, the
+``repro.io`` CLI).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+#: CSV column order of the metrics dump.
+METRICS_CSV_HEADER = ("metric", "name", "client", "field", "value")
+
+
+def events_to_jsonl(events: Union[Tracer, Iterable[TraceEvent]]) -> str:
+    """One compact JSON object per line, in emission order."""
+    return "".join(json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events)
+
+
+def write_events_jsonl(events: Union[Tracer, Iterable[TraceEvent]], path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(events))
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Flat ``metric,name,client,field,value`` rows (header included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(METRICS_CSV_HEADER)
+    for row in registry.rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_metrics_csv(registry: MetricsRegistry, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_csv(registry))
+
+
+def format_counts(
+    counts: Mapping[str, float],
+    title: str = "",
+    width: int = 32,
+    unit: str = "",
+    show_share: bool = True,
+) -> str:
+    """Render a count table: label, bar, value, share of the total.
+
+    The one renderer behind every human-readable count summary (run
+    summaries, ``python -m repro.io`` reports).  Values render as
+    integers when they are integral.
+    """
+    if not counts:
+        raise ValueError("need at least one count")
+    total = float(sum(counts.values()))
+    maximum = max(counts.values())
+    scale = maximum if maximum > 0 else 1.0
+    label_width = max(len(str(name)) for name in counts)
+    lines = [title] if title else []
+    for name, value in counts.items():
+        bar = "#" * max(1, int(round(width * value / scale))) if value > 0 else ""
+        rendered = f"{value:g}" if float(value) == int(value) else f"{value:.3g}"
+        line = f"  {name:<{label_width}}  {bar:<{width}} {rendered}{unit}"
+        if show_share and total > 0:
+            line += f" ({100.0 * value / total:.1f}%)"
+        lines.append(line.rstrip())
+    return "\n".join(lines)
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def render_run_summary(recorder, title: str = "run summary") -> str:
+    """Human-readable report of one :class:`TelemetryRecorder`'s run.
+
+    Sections: the wall-time phase profile, channel evaluation cost,
+    counters, gauges, and histogram digests.  Every section is optional —
+    an empty recorder renders just the header.
+    """
+    separator = "-" * max(len(title), 24)
+    lines = [title, separator]
+
+    profile = recorder.profile
+    if profile.phase_s:
+        total = profile.total_phase_s
+        lines.append("phase wall time:")
+        for phase, elapsed in profile.phase_s.items():
+            share = 100.0 * elapsed / total if total > 0 else 0.0
+            steps = profile.phase_measurements.get(phase, 0)
+            lines.append(
+                f"  {phase:<10} {_format_seconds(elapsed):>10}  ({share:5.1f}%  over {steps} steps)"
+            )
+        lines.append(f"  {'total':<10} {_format_seconds(total):>10}")
+
+    if profile.channel_s:
+        lines.append("channel evaluation:")
+        for op, elapsed in profile.channel_s.items():
+            calls = profile.channel_calls.get(op, 0)
+            lines.append(
+                f"  {op:<18} {_format_seconds(elapsed):>10}  over {calls} call(s)"
+            )
+
+    tracer = getattr(recorder, "tracer", None)
+    if tracer is not None and len(tracer):
+        kind_counts = {kind: float(count) for kind, count in sorted(tracer.kinds().items())}
+        lines.append("events:")
+        lines.append(format_counts(kind_counts, width=24))
+        if tracer.n_dropped:
+            lines.append(f"  ({tracer.n_dropped} older events dropped from the ring)")
+
+    metrics = recorder.metrics
+    counters = {
+        name: value
+        for name, value in metrics.counters().items()
+        if not name.startswith("events.")
+    }
+    if counters:
+        lines.append("counters:")
+        lines.append(format_counts(counters, width=24))
+
+    gauges = metrics.gauges()
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<32} {value:.4g}")
+
+    histograms = metrics.histograms()
+    if histograms:
+        lines.append("histograms:")
+        for hist in histograms:
+            label = hist.name if hist.client is None else f"{hist.name} [{hist.client}]"
+            lines.append(
+                f"  {label:<24} n={hist.n}  mean={hist.mean:.4g}"
+                + (f"  min={hist.min:.4g}  max={hist.max:.4g}" if hist.n else "")
+            )
+    return "\n".join(lines)

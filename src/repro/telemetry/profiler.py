@@ -1,0 +1,54 @@
+"""Wall-clock profiling: per-phase and per-channel-call time accounting.
+
+The engine feeds phase timings (one measurement per phase per step) and
+the channel layer feeds per-evaluation timings; :class:`RunProfile`
+accumulates both so a finished run can answer "where did the wall time
+go" without any external profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """A tiny context-manager stopwatch (``with Timer() as t: ...``)."""
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s += time.perf_counter() - self._start
+        self._start = None
+
+
+class RunProfile:
+    """Accumulated wall time per engine phase and per channel operation."""
+
+    def __init__(self) -> None:
+        self.phase_s: Dict[str, float] = {}
+        self.phase_measurements: Dict[str, int] = {}
+        self.channel_s: Dict[str, float] = {}
+        self.channel_calls: Dict[str, int] = {}
+
+    def add_phase(self, phase: str, elapsed_s: float) -> None:
+        self.phase_s[phase] = self.phase_s.get(phase, 0.0) + elapsed_s
+        self.phase_measurements[phase] = self.phase_measurements.get(phase, 0) + 1
+
+    def add_channel(self, op: str, elapsed_s: float) -> None:
+        self.channel_s[op] = self.channel_s.get(op, 0.0) + elapsed_s
+        self.channel_calls[op] = self.channel_calls.get(op, 0) + 1
+
+    @property
+    def total_phase_s(self) -> float:
+        return sum(self.phase_s.values())
+
+    @property
+    def total_channel_s(self) -> float:
+        return sum(self.channel_s.values())

@@ -1,0 +1,176 @@
+"""The recorder interface every instrumentation point talks to.
+
+Design rule: the *disabled* path must cost one attribute call per hook.
+:class:`Recorder` is therefore both the interface and the no-op
+implementation — every hook is a ``pass`` — and hot loops additionally
+gate formatting/stopwatch work behind ``recorder.enabled`` so a run with
+the shared :data:`NULL_RECORDER` never calls ``perf_counter`` or builds
+event payloads.  Telemetry only ever *observes*: no hook touches RNG
+state or simulation values, which is what keeps seeded runs bit-identical
+with recording on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import RunProfile
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+
+class Recorder:
+    """No-op recorder base class; also the instrumentation interface.
+
+    Hooks, in the order a run exercises them:
+
+    * :meth:`event` — structured trace event (run/classifier/adaptation);
+    * :meth:`count` / :meth:`gauge` / :meth:`observe` — metrics;
+    * :meth:`phase_time` — one engine phase of one step took ``elapsed_s``;
+    * :meth:`channel_eval` — one channel evaluation (scalar or batched).
+    """
+
+    #: Instrumentation points check this before doing any work beyond the
+    #: hook call itself (building payloads, reading the wall clock).
+    enabled: bool = False
+
+    def count(self, name: str, value: float = 1.0, client: Optional[str] = None) -> None:
+        """Increment counter ``name`` (per-client series via ``client``)."""
+
+    def gauge(self, name: str, value: float, client: Optional[str] = None) -> None:
+        """Set gauge ``name`` to ``value``."""
+
+    def observe(self, name: str, value: float, client: Optional[str] = None) -> None:
+        """Add ``value`` to histogram ``name``."""
+
+    def event(
+        self,
+        kind: str,
+        time_s: float,
+        client: Optional[str] = None,
+        step: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Emit one structured trace event."""
+
+    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+        """One engine phase of step ``step`` (simulation time ``time_s``)
+        took ``elapsed_s`` of wall time across all sessions."""
+
+    def channel_eval(
+        self,
+        op: str,
+        batch_size: int,
+        n_samples: int,
+        elapsed_s: float,
+        time_s: float = 0.0,
+        batched: bool = False,
+    ) -> None:
+        """One channel evaluation: ``batch_size`` links over ``n_samples``
+        grid samples through kernel ``op``."""
+
+
+class NullRecorder(Recorder):
+    """The shared disabled recorder (all hooks inherited no-ops)."""
+
+
+#: The default recorder every instrumentation point starts bound to.
+NULL_RECORDER = NullRecorder()
+
+
+class TelemetryRecorder(Recorder):
+    """A live recorder: metrics registry + event tracer + run profile.
+
+    One instance can observe a whole engine run (or several — metrics and
+    events simply accumulate).  Exports are available directly::
+
+        recorder = TelemetryRecorder()
+        engine = SimulationEngine(grid, recorder=recorder)
+        ...
+        recorder.write_events_jsonl("trace.jsonl")
+        recorder.write_metrics_csv("metrics.csv")
+        print(recorder.summary())
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(capacity)
+        self.profile = RunProfile()
+
+    # ---------------------------------------------------------------- metrics
+
+    def count(self, name: str, value: float = 1.0, client: Optional[str] = None) -> None:
+        self.metrics.count(name, value, client=client)
+
+    def gauge(self, name: str, value: float, client: Optional[str] = None) -> None:
+        self.metrics.set_gauge(name, value, client=client)
+
+    def observe(self, name: str, value: float, client: Optional[str] = None) -> None:
+        self.metrics.observe(name, value, client=client)
+
+    # ----------------------------------------------------------------- events
+
+    def event(
+        self,
+        kind: str,
+        time_s: float,
+        client: Optional[str] = None,
+        step: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        self.tracer.emit(kind, time_s, client=client, step=step, **fields)
+        self.metrics.count(f"events.{kind}")
+
+    # -------------------------------------------------------------- profiling
+
+    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+        self.profile.add_phase(phase, elapsed_s)
+        self.metrics.observe("phase.elapsed_s", elapsed_s)
+        self.tracer.emit("phase", time_s, step=step, phase=phase, elapsed_s=elapsed_s)
+        self.metrics.count("events.phase")
+
+    def channel_eval(
+        self,
+        op: str,
+        batch_size: int,
+        n_samples: int,
+        elapsed_s: float,
+        time_s: float = 0.0,
+        batched: bool = False,
+    ) -> None:
+        self.profile.add_channel(op, elapsed_s)
+        self.metrics.count(f"channel.{op}.calls")
+        self.metrics.observe("channel.elapsed_s", elapsed_s)
+        kind = "channel_batch" if batched else "channel_eval"
+        self.tracer.emit(
+            kind,
+            time_s,
+            op=op,
+            batch_size=batch_size,
+            n_samples=n_samples,
+            elapsed_s=elapsed_s,
+        )
+        self.metrics.count(f"events.{kind}")
+
+    # ---------------------------------------------------------------- exports
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        return self.tracer.events
+
+    def summary(self, title: str = "run summary") -> str:
+        from repro.telemetry.export import render_run_summary
+
+        return render_run_summary(self, title=title)
+
+    def write_events_jsonl(self, path) -> None:
+        from repro.telemetry.export import write_events_jsonl
+
+        write_events_jsonl(self.tracer, path)
+
+    def write_metrics_csv(self, path) -> None:
+        from repro.telemetry.export import write_metrics_csv
+
+        write_metrics_csv(self.metrics, path)

@@ -1,0 +1,89 @@
+"""Step-scoped structured event tracing on a bounded ring buffer.
+
+Events are small typed records (kind + simulation time + optional client
+and step + free-form scalar fields).  The buffer is a ring: a run that
+emits more events than the capacity keeps the most recent ones and
+counts the drop, so tracing can stay on for arbitrarily long runs
+without growing memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.  ``fields`` carries kind-specific scalars."""
+
+    kind: str
+    time_s: float
+    client: Optional[str] = None
+    step: Optional[int] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly dict; kind-specific fields are inlined."""
+        record: Dict[str, Any] = {"kind": self.kind, "time_s": self.time_s}
+        if self.client is not None:
+            record["client"] = self.client
+        if self.step is not None:
+            record["step"] = self.step
+        for key, value in self.fields.items():
+            record[key] = value
+        return record
+
+
+class Tracer:
+    """Ring buffer of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.n_emitted = 0
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        client: Optional[str] = None,
+        step: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        self._events.append(
+            TraceEvent(kind=kind, time_s=float(time_s), client=client, step=step, fields=fields)
+        )
+        self.n_emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def n_dropped(self) -> int:
+        """Events that fell off the ring (emitted minus retained)."""
+        return self.n_emitted - len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Retained event counts per kind (oldest-dropped not included)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self._events if event.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.n_emitted = 0

@@ -75,6 +75,15 @@ class MultiApChannel:
     def links(self) -> List[LinkChannel]:
         return self._batch.links
 
+    @property
+    def recorder(self):
+        """Telemetry sink of the underlying :class:`MultiLinkChannel`."""
+        return self._batch.recorder
+
+    @recorder.setter
+    def recorder(self, recorder) -> None:
+        self._batch.recorder = recorder
+
     def evaluate(
         self,
         trajectory: TrajectoryTrace,

@@ -24,6 +24,7 @@ each engine step window, carrying its frame clock across steps.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -228,6 +229,7 @@ class SchedulingSession(Session):
         scheduler = self.scheduler
         traces = self.traces
         adapters = self.adapters
+        live = self.recorder.enabled
         window_end = min(clock.end_s, self._end)
         while self._now < window_end:
             now = self._now
@@ -246,6 +248,16 @@ class SchedulingSession(Session):
                     scheduler.update_hint(client, hint)
                     adapters[client].update_hint(hint)
                     self._hint_cursor[client] += 1
+                    if live:
+                        self.recorder.count("scheduler.hints", client=str(client))
+                        self.recorder.event(
+                            "adaptation",
+                            now,
+                            client=str(client),
+                            action="hint_applied",
+                            mode=hint.mode.value,
+                            heading=hint.heading.value,
+                        )
                 trace = traces[client]
                 fade_db, in_burst = self._fades[client].advance(
                     now, float(trace.doppler_hz[index])
@@ -275,11 +287,17 @@ class SchedulingSession(Session):
             self._slots[chosen] += 1
             served_mbps = frame.delivered_bytes * 8 / max(frame.airtime_s, 1e-9) / 1e6
             scheduler.account(chosen, served_mbps)
+            if live:
+                self.recorder.count("scheduler.slots", client=str(chosen))
+                self.recorder.observe("scheduler.frame_airtime_s", frame.airtime_s)
             self._now = now + frame.airtime_s
 
     def finish(self) -> ScheduleRunResult:
         duration = self._now - self._start
         per_client = [bytes_ * 8 / duration / 1e6 for bytes_ in self._delivered]
+        if self.recorder.enabled:
+            for i, mbps in enumerate(per_client):
+                self.recorder.gauge("scheduler.client_mbps", float(mbps), client=str(i))
         return ScheduleRunResult(per_client_mbps=per_client, slots_served=self._slots)
 
 
@@ -303,6 +321,12 @@ def simulate_scheduling(
         with a :class:`SchedulingSession`; build those directly to co-run
         the scheduler with other sessions on one grid.
     """
+    warnings.warn(
+        "simulate_scheduling is deprecated since 1.1; build a SchedulingSession "
+        "on a SimulationEngine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     session = SchedulingSession(
         scheduler,
         traces,

@@ -16,6 +16,7 @@ scheduler fires).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -47,6 +48,7 @@ from repro.rate.mobility_aware import MobilityAwareAtherosRA
 from repro.roaming.base import NeighborObservation, RoamingContext, RoamingScheme
 from repro.roaming.schemes import ControllerRoaming, DefaultClientRoaming
 from repro.sim.engine import Session, SimulationEngine, StepClock, TimeGrid
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.wlan.multilink import MultiApTraces
 from repro.wlan.traffic import TcpModel
@@ -131,9 +133,15 @@ class _StackContext(RoamingContext):
         return self._sim.measured_rssi(self._sim.current_ap)
 
     def scan(self):
-        self._sim.charge_outage(self._sim.scan_outage_s)
-        self._sim.n_scans += 1
-        return {ap: self._sim.measured_rssi(ap) for ap in range(self._sim.n_aps)}
+        sim = self._sim
+        sim.charge_outage(sim.scan_outage_s)
+        sim.n_scans += 1
+        if sim.recorder.enabled:
+            sim.recorder.count("scans", client=sim.client_label)
+            sim.recorder.event(
+                "adaptation", sim.now_s, client=sim.client_label, action="scan"
+            )
+        return {ap: sim.measured_rssi(ap) for ap in range(sim.n_aps)}
 
     def accelerometer_moving(self) -> bool:
         return False  # neither arm uses client sensors
@@ -152,6 +160,11 @@ class _StackContext(RoamingContext):
 
 
 class _StackSimulation:
+    #: Telemetry sink plus the client label stamped on emitted events
+    #: (bound by :meth:`StackSession.bind_recorder`).
+    recorder: Recorder = NULL_RECORDER
+    client_label: str = "client"
+
     def __init__(
         self,
         multi: MultiApTraces,
@@ -224,6 +237,17 @@ class _StackSimulation:
 
     def perform_handoff(self, target: int, forced: bool) -> None:
         self.charge_outage(self.forced_handoff_outage_s if forced else self.handoff_outage_s)
+        if self.recorder.enabled:
+            self.recorder.count("handoffs", client=self.client_label)
+            self.recorder.event(
+                "adaptation",
+                self.now_s,
+                client=self.client_label,
+                action="handoff",
+                from_ap=self.current_ap,
+                target_ap=target,
+                forced=forced,
+            )
         self.current_ap = target
         self.n_handoffs += 1
         self.classifier.reset()
@@ -257,6 +281,15 @@ class _StackSimulation:
                     self.components.rate.update_hint(estimate)
                     self.components.aggregation.update_hint(estimate)
                     self.components.feedback.update_hint(estimate)
+                    if self.recorder.enabled:
+                        self.recorder.event(
+                            "adaptation",
+                            self._next_csi_s,
+                            client=self.client_label,
+                            action="hint_applied",
+                            mode=estimate.mode.value,
+                            heading=estimate.heading.value,
+                        )
             self._next_csi_s += self.classifier_config.csi_sampling_period_s
 
     def beamformed_snr_db(self) -> float:
@@ -277,6 +310,8 @@ class _StackSimulation:
             return
         self._weights = mrt_weights(np.asarray(h[self.step_index])[..., 0])
         self.n_feedbacks += 1
+        if self.recorder.enabled:
+            self.recorder.count("feedback_refreshes", client=self.client_label)
 
 
 class StackSession(Session):
@@ -311,6 +346,13 @@ class StackSession(Session):
         self._goodput = np.zeros(n)
         self._ap_timeline = np.empty(n, dtype=int)
         self._estimates: List = []
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        super().bind_recorder(recorder)
+        self._sim.recorder = recorder
+        self._sim.client_label = self.client
+        self._sim.classifier.recorder = recorder
+        self._sim.classifier.telemetry_client = self.client
 
     def sense(self, clock: StepClock) -> None:
         sim = self._sim
@@ -364,6 +406,13 @@ class StackSession(Session):
 
     def finish(self) -> StackRunResult:
         sim = self._sim
+        if self.recorder.enabled:
+            self.recorder.gauge("stack.handoffs", float(sim.n_handoffs), client=self.client)
+            self.recorder.gauge("stack.scans", float(sim.n_scans), client=self.client)
+            self.recorder.gauge("stack.feedbacks", float(sim.n_feedbacks), client=self.client)
+            self.recorder.gauge(
+                "stack.mean_goodput_mbps", float(np.mean(self._goodput)), client=self.client
+            )
         return StackRunResult(
             times=np.asarray(sim.multi.times, dtype=float),
             goodput_mbps=self._goodput,
@@ -390,6 +439,12 @@ def simulate_stack(
         with a :class:`StackSession`; build those directly for multi-client
         runs or custom phase mixes.
     """
+    warnings.warn(
+        "simulate_stack is deprecated since 1.1; build a StackSession on a "
+        "SimulationEngine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     session = StackSession(
         multi, components, error_model, classifier_config, tof_config, seed
     )

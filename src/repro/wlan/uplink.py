@@ -25,6 +25,7 @@ from repro.mac.aggregation import FrameTransmitter
 from repro.rate.base import RateAdapter
 from repro.rate.simulator import RateControlSession, RateRunResult
 from repro.sim.engine import SimulationEngine, TimeGrid
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.rng import SeedLike
 
 
@@ -62,6 +63,7 @@ def simulate_uplink(
     hint_delay_s: float = 0.050,
     transmitter: Optional[FrameTransmitter] = None,
     seed: SeedLike = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> UplinkRunResult:
     """Saturated client->AP transfer with AP-relayed mobility hints.
 
@@ -92,7 +94,7 @@ def simulate_uplink(
         aggregation_time_fn=aggregation_time,
         hints=delayed,
     )
-    engine = SimulationEngine(TimeGrid(trace.times))
+    engine = SimulationEngine(TimeGrid(trace.times), recorder=recorder)
     engine.add(session)
     result = engine.run()[session.client]
     return UplinkRunResult(rate_result=result, hint_delay_s=hint_delay_s)

@@ -1,0 +1,78 @@
+"""The 1.1 shim entry points now raise real ``DeprecationWarning``s.
+
+Each of ``simulate_stack``, ``simulate_scheduling`` and
+``simulate_roaming`` is a thin wrapper over a Session on the engine; the
+docstrings have carried ``.. deprecated:: 1.1`` notes since the refactor
+and the warnings make them machine-visible — exactly once per call.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.hints import MobilityEstimate
+from repro.mobility.modes import Heading, MobilityMode
+from repro.mobility.scenarios import macro_scenario
+from repro.roaming.schemes import DefaultClientRoaming
+from repro.roaming.simulator import simulate_roaming
+from repro.testing import synthetic_trace
+from repro.util.geometry import Point
+from repro.wlan.floorplan import default_office_floorplan
+from repro.wlan.multilink import MultiApChannel
+from repro.wlan.scheduler import RoundRobinScheduler, simulate_scheduling
+from repro.wlan.stack import default_stack, simulate_stack
+
+
+@pytest.fixture(scope="module")
+def multi():
+    """A tiny CSI-free walk: enough for the shims, cheap to evaluate."""
+    floorplan = default_office_floorplan()
+    scenario = macro_scenario(Point(5.0, 5.0), area=(2.0, 2.0, 38.0, 23.0), seed=1)
+    trajectory = scenario.sample(2.0, 0.02)
+    return MultiApChannel(floorplan, seed=1).evaluate(
+        trajectory, sample_interval_s=0.1, include_h=False
+    )
+
+
+def _deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def test_simulate_stack_warns_once_per_call(multi):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        simulate_stack(multi, default_stack(), seed=1)
+    caught = _deprecations(record)
+    assert len(caught) == 1
+    assert "simulate_stack is deprecated" in str(caught[0].message)
+
+
+def test_simulate_roaming_warns_once_per_call(multi):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        simulate_roaming(
+            multi, DefaultClientRoaming(), device_mobile_truth=np.ones(len(multi.times), bool),
+            seed=1,
+        )
+    caught = _deprecations(record)
+    assert len(caught) == 1
+    assert "simulate_roaming is deprecated" in str(caught[0].message)
+
+
+def test_simulate_scheduling_warns_once_per_call():
+    traces = [
+        synthetic_trace(snr_db=22.0, duration_s=1.0),
+        synthetic_trace(snr_db=18.0, duration_s=1.0),
+    ]
+    hints = [
+        [MobilityEstimate(0.1, MobilityMode.STATIC)],
+        [MobilityEstimate(0.1, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True)],
+    ]
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        simulate_scheduling(RoundRobinScheduler(), traces, hints=hints, transmitter_seed=1)
+        simulate_scheduling(RoundRobinScheduler(), traces, hints=hints, transmitter_seed=1)
+    caught = _deprecations(record)
+    assert len(caught) == 2  # exactly one warning per call, not per frame
+    assert all("simulate_scheduling is deprecated" in str(w.message) for w in caught)
