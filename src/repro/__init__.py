@@ -21,6 +21,7 @@ system inventory, and ``EXPERIMENTS.md`` for paper-vs-measured results.
 """
 
 from repro.channel import ChannelConfig, ChannelTrace, LinkChannel, MultiLinkChannel
+from repro.faults import DelayFault, DropFault, DuplicateFault, FaultPlan, NaNFault
 from repro.core import (
     ClassifierConfig,
     MobilityClassifier,
@@ -48,14 +49,18 @@ from repro.telemetry import (
 )
 from repro.util.geometry import Point
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "NULL_RECORDER",
     "ChannelConfig",
     "ChannelTrace",
     "ClassifierConfig",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
     "EnvironmentActivity",
+    "FaultPlan",
     "GroundTruth",
     "Heading",
     "LinkChannel",
@@ -66,6 +71,7 @@ __all__ = [
     "MobilityPolicy",
     "MobilityScenario",
     "MultiLinkChannel",
+    "NaNFault",
     "NullRecorder",
     "Point",
     "PolicyTable",

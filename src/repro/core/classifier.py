@@ -18,6 +18,7 @@ Fig. 5 flow chart prescribes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -43,6 +44,11 @@ class ClassifierConfig:
     threshold_environmental: float = 0.70
     #: Moving-average window (in samples) over the similarity stream.
     similarity_smoothing_window: int = 3
+    #: Largest tolerated spacing between consecutive CSI samples before the
+    #: similarity comparison is discarded: correlating samples seconds apart
+    #: as if consecutive turns a traffic lull into a phantom channel change.
+    #: ``None`` (default) keeps the historical cadence-blind behaviour.
+    max_csi_gap_s: Optional[float] = None
     tof: ToFTrendConfig = field(default_factory=ToFTrendConfig)
 
     def __post_init__(self) -> None:
@@ -52,6 +58,8 @@ class ClassifierConfig:
             raise ValueError("thresholds must satisfy -1 <= Thr_env < Thr_sta <= 1")
         if self.similarity_smoothing_window < 1:
             raise ValueError("smoothing window must be >= 1")
+        if self.max_csi_gap_s is not None and self.max_csi_gap_s <= 0:
+            raise ValueError("max CSI gap must be positive (or None to disable)")
 
 
 class MobilityClassifier:
@@ -65,6 +73,7 @@ class MobilityClassifier:
     def __init__(self, config: ClassifierConfig = ClassifierConfig()) -> None:
         self.config = config
         self._previous_csi: Optional[np.ndarray] = None
+        self._last_csi_time: Optional[float] = None
         self._similarity_stats = SlidingStatistics(config.similarity_smoothing_window)
         self._tof_detector = ToFTrendDetector(config.tof)
         self._tof_active = False
@@ -95,15 +104,90 @@ class MobilityClassifier:
 
         Readings pushed while ToF measurement is inactive are ignored — the
         real system would simply not schedule the measurement exchange.
+        With a time-aware :class:`ToFTrendConfig` the timestamp drives
+        wall-clock median aggregation and gap invalidation; the default
+        count-based detector ignores it.
         """
-        del time_s  # the detector is cadence-based; kept for API symmetry
         if not self._tof_active:
             return
-        self._tof_detector.push(tof_cycles)
+        if not math.isfinite(tof_cycles):
+            # A corrupted reading would poison the whole period's median.
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.count("classifier.invalid_samples", client=self.telemetry_client)
+                recorder.event(
+                    "sensing_gap",
+                    time_s,
+                    client=self.telemetry_client,
+                    source="tof",
+                    reason="invalid_sample",
+                )
+            return
+        detector = self._tof_detector
+        detector.push(tof_cycles, time_s=time_s)
+        recorder = self.recorder
+        if recorder.enabled and detector.last_closed:
+            client = self.telemetry_client
+            for batch in detector.last_closed:
+                if batch.is_gap:
+                    recorder.count("classifier.tof_gaps", client=client)
+                    if batch.n_samples > 0:
+                        recorder.count("tof.medians_discarded", client=client)
+                    recorder.count("tof.windows_invalidated", client=client)
+                    recorder.event(
+                        "sensing_gap",
+                        time_s,
+                        client=client,
+                        source="tof",
+                        reason="sparse_period" if batch.n_samples else "empty_period",
+                        gap_start_s=batch.start_s,
+                        gap_s=batch.duration_s,
+                        n_samples=batch.n_samples,
+                    )
+            detector.last_closed = []
 
     def push_csi(self, time_s: float, csi: np.ndarray) -> Optional[MobilityEstimate]:
-        """Feed one CSI sample; returns the new decision (if one was made)."""
+        """Feed one CSI sample; returns the new decision (if one was made).
+
+        Non-finite samples (a corrupted CSI report) are discarded and
+        counted; with ``config.max_csi_gap_s`` set, a sampling gap larger
+        than the limit restarts the similarity stream instead of comparing
+        across the gap — both surface as ``sensing_gap`` trace events.
+        """
         csi = np.asarray(csi)
+        recorder = self.recorder
+        if not np.all(np.isfinite(csi)):
+            if recorder.enabled:
+                recorder.count("classifier.invalid_samples", client=self.telemetry_client)
+                recorder.event(
+                    "sensing_gap",
+                    time_s,
+                    client=self.telemetry_client,
+                    source="csi",
+                    reason="invalid_sample",
+                )
+            return None
+        max_gap = self.config.max_csi_gap_s
+        if (
+            max_gap is not None
+            and self._last_csi_time is not None
+            and time_s - self._last_csi_time > max_gap
+        ):
+            # Samples this far apart are not "consecutive" in the Fig. 5
+            # sense; their similarity says nothing about mobility *now*.
+            if recorder.enabled:
+                recorder.count("classifier.csi_gaps", client=self.telemetry_client)
+                recorder.event(
+                    "sensing_gap",
+                    time_s,
+                    client=self.telemetry_client,
+                    source="csi",
+                    reason="sampling_gap",
+                    gap_s=time_s - self._last_csi_time,
+                )
+            self._previous_csi = None
+            self._similarity_stats.reset()
+        self._last_csi_time = time_s
         if self._previous_csi is None:
             self._previous_csi = csi
             return None
@@ -115,7 +199,6 @@ class MobilityClassifier:
         decision = self._decide(time_s, smoothed)
         self._estimate = decision
         self._history.append(decision)
-        recorder = self.recorder
         if recorder.enabled:
             client = self.telemetry_client
             recorder.count("classifier.decisions", client=client)
@@ -186,6 +269,7 @@ class MobilityClassifier:
     def reset(self) -> None:
         """Forget everything (e.g. after the client roams to another AP)."""
         self._previous_csi = None
+        self._last_csi_time = None
         self._similarity_stats.reset()
         self._stop_tof()
         self._estimate = None

@@ -42,8 +42,11 @@ def _pair_similarity(gains_a: np.ndarray, gains_b: np.ndarray) -> float:
 def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
     """Similarity of two CSI samples (paper Eq. 1), in [-1, 1].
 
-    Accepts either 1-D per-subcarrier vectors or ``(K, n_tx, n_rx)``
-    matrices; complex input is reduced to channel gains with ``abs``.
+    Accepts 1-D per-subcarrier vectors, 2-D ``(K, n_pairs)`` per-pair gain
+    matrices (one column per flattened TX-RX antenna pair), or 3-D
+    ``(K, n_tx, n_rx)`` matrices; complex input is reduced to channel
+    gains with ``abs``.  Multi-pair input is scored per pair and averaged,
+    matching the MIMO treatment described in the module docstring.
     """
     csi_a = np.asarray(csi_a)
     csi_b = np.asarray(csi_b)
@@ -53,6 +56,14 @@ def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
     gains_b = np.abs(csi_b).astype(float)
     if gains_a.ndim == 1:
         return _pair_similarity(gains_a, gains_b)
+    if gains_a.ndim == 2:
+        n_pairs = gains_a.shape[1]
+        if n_pairs == 0:
+            raise ValueError("2-D CSI needs at least one antenna-pair column")
+        values = [
+            _pair_similarity(gains_a[:, p], gains_b[:, p]) for p in range(n_pairs)
+        ]
+        return float(np.mean(values))
     if gains_a.ndim == 3:
         k, n_tx, n_rx = gains_a.shape
         values = [
@@ -61,7 +72,11 @@ def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
             for r in range(n_rx)
         ]
         return float(np.mean(values))
-    raise ValueError(f"CSI must be 1-D or 3-D (K, n_tx, n_rx), got shape {gains_a.shape}")
+    raise ValueError(
+        f"CSI must be 1-D (K,), 2-D (K, n_pairs), or 3-D (K, n_tx, n_rx), got "
+        f"shape {gains_a.shape}; reshape higher-rank input to (K, -1) so each "
+        f"column is one antenna pair's per-subcarrier gains"
+    )
 
 
 def csi_similarity_stream(csi_samples: Iterable[np.ndarray]) -> Iterator[float]:
@@ -85,6 +100,10 @@ def csi_similarity_series(h: np.ndarray, lag: int = 1) -> np.ndarray:
     ``h`` is ``(N, K, n_tx, n_rx)``; the result has ``N - lag`` entries
     where entry ``i`` compares samples ``i`` and ``i + lag``.  Used by the
     Fig. 2 sweeps where the same trace is analysed at many sampling periods.
+
+    Traces too short to form any pair (``N <= lag``) return an empty array
+    of shape ``(0,)`` — the same 1-D shape as every non-empty result, so
+    downstream concatenation and reduction code never special-cases it.
     """
     h = np.asarray(h)
     if h.ndim != 4:
@@ -92,7 +111,7 @@ def csi_similarity_series(h: np.ndarray, lag: int = 1) -> np.ndarray:
     if lag < 1:
         raise ValueError(f"lag must be >= 1, got {lag}")
     if len(h) <= lag:
-        return np.empty(0)
+        return np.empty((0,))
     gains = np.abs(h).astype(float)
     a = gains[:-lag]
     b = gains[lag:]

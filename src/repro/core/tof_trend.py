@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.mobility.modes import Heading
-from repro.util.filters import MedianFilter, MovingWindow
+from repro.util.filters import MedianBatch, MedianFilter, MovingWindow, TimedMedianFilter
 
 
 class ToFTrend(enum.Enum):
@@ -65,6 +65,17 @@ class ToFTrendConfig:
     #: one quantisation step (1 cycle), otherwise a median flickering on a
     #: cycle boundary registers as a trend.
     min_net_cycles: float = 1.0
+    #: When True the median filter closes batches on *wall clock* rather
+    #: than sample count: one median per ``median_period_s`` of real time,
+    #: and a period with fewer than :attr:`effective_min_median_samples`
+    #: readings emits a gap marker that invalidates the trend window instead
+    #: of stretching "one second" of medians over arbitrary real time.
+    #: The default (False) keeps the count-based fast path bit-identical
+    #: for uniform traces.
+    time_aware: bool = False
+    #: Minimum raw samples a period needs to yield a trustworthy median in
+    #: time-aware mode; ``None`` means half the nominal samples-per-median.
+    min_median_samples: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sample_interval_s <= 0 or self.median_period_s <= 0:
@@ -73,12 +84,23 @@ class ToFTrendConfig:
             raise ValueError("median period must cover at least one sample")
         if self.window_periods < 2:
             raise ValueError("trend window needs at least 2 medians")
-        if self.step_tolerance_cycles < 0 or self.min_net_cycles <= 0:
-            raise ValueError("tolerances must be positive")
+        if self.step_tolerance_cycles < 0:
+            raise ValueError("step tolerance must be non-negative (cycles)")
+        if self.min_net_cycles <= 0:
+            raise ValueError("minimum net change must be positive (cycles)")
+        if self.min_median_samples is not None and self.min_median_samples < 1:
+            raise ValueError("min_median_samples must be >= 1")
 
     @property
     def samples_per_median(self) -> int:
         return max(1, int(round(self.median_period_s / self.sample_interval_s)))
+
+    @property
+    def effective_min_median_samples(self) -> int:
+        """Resolved gap threshold for time-aware aggregation."""
+        if self.min_median_samples is not None:
+            return self.min_median_samples
+        return max(1, self.samples_per_median // 2)
 
 
 def detect_trend(
@@ -111,8 +133,21 @@ class ToFTrendDetector:
     def __init__(self, config: ToFTrendConfig = ToFTrendConfig()) -> None:
         self.config = config
         self._median_filter = MedianFilter(config.samples_per_median)
+        self._timed_filter: Optional[TimedMedianFilter] = (
+            TimedMedianFilter(config.median_period_s, config.effective_min_median_samples)
+            if config.time_aware
+            else None
+        )
         self._window = MovingWindow(config.window_periods)
         self._trend = ToFTrend.NONE
+        #: Degradation counters (time-aware mode): collapsed gap markers
+        #: seen, sparse partial medians discarded, window invalidations.
+        self.n_gaps = 0
+        self.n_medians_discarded = 0
+        self.n_windows_invalidated = 0
+        #: Batches closed by the most recent time-aware :meth:`push` (for
+        #: telemetry; stays empty on the count-based path).
+        self.last_closed: List[MedianBatch] = []
 
     @property
     def trend(self) -> ToFTrend:
@@ -130,15 +165,42 @@ class ToFTrendDetector:
     def medians(self) -> List[float]:
         return self._window.values()
 
-    def push(self, tof_cycles: float) -> Optional[ToFTrend]:
+    def push(self, tof_cycles: float, time_s: Optional[float] = None) -> Optional[ToFTrend]:
         """Add one raw ToF reading.
 
         Returns the (re-)evaluated trend when a median period completes,
-        ``None`` otherwise.
+        ``None`` otherwise.  With ``config.time_aware`` a timestamp is
+        required: medians close on wall clock, and a sampling gap (a period
+        with too few readings) invalidates the window — the trend drops to
+        ``NONE`` until a full window of contiguous medians rebuilds.
         """
+        if self.config.time_aware:
+            if time_s is None:
+                raise ValueError("time-aware trend detection needs time_s with every reading")
+            return self._push_timed(float(time_s), tof_cycles)
         median = self._median_filter.push(tof_cycles)
         if median is None:
             return None
+        self._ingest_median(median)
+        return self._trend
+
+    def _push_timed(self, time_s: float, tof_cycles: float) -> Optional[ToFTrend]:
+        assert self._timed_filter is not None
+        closed = self._timed_filter.push(time_s, tof_cycles)
+        self.last_closed = closed
+        if not closed:
+            return None
+        for batch in closed:
+            if batch.is_gap:
+                self.n_gaps += 1
+                if batch.n_samples > 0:
+                    self.n_medians_discarded += 1
+                self._invalidate_window()
+            else:
+                self._ingest_median(batch.median)
+        return self._trend
+
+    def _ingest_median(self, median: float) -> None:
         self._window.push(median)
         if self._window.full:
             self._trend = detect_trend(
@@ -148,10 +210,23 @@ class ToFTrendDetector:
             )
         else:
             self._trend = ToFTrend.NONE
-        return self._trend
 
-    def reset(self) -> None:
-        """Forget all state (called when device mobility ends, Fig. 5)."""
-        self._median_filter.reset()
+    def _invalidate_window(self) -> None:
+        """A sampling gap breaks median contiguity: the window restarts."""
+        if len(self._window):
+            self.n_windows_invalidated += 1
         self._window.clear()
         self._trend = ToFTrend.NONE
+
+    def reset(self) -> None:
+        """Forget all state (called when device mobility ends, Fig. 5).
+
+        Pending partial medians are dropped too, so a stale half-batch from
+        one device-mobility episode never leaks into the next.
+        """
+        self._median_filter.reset()
+        if self._timed_filter is not None:
+            self._timed_filter.reset()
+        self._window.clear()
+        self._trend = ToFTrend.NONE
+        self.last_closed = []

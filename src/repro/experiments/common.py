@@ -22,6 +22,7 @@ from repro.channel.config import ChannelConfig
 from repro.channel.model import LinkChannel
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
 from repro.core.hints import MobilityEstimate
+from repro.faults import FaultPlan
 from repro.mobility.modes import MODE_ORDER, GroundTruth, Heading, MobilityMode
 from repro.mobility.scenarios import MobilityScenario
 from repro.phy.tof import ToFConfig, ToFSampler
@@ -271,12 +272,19 @@ def sense_and_classify(
     tof_config: ToFConfig = ToFConfig(),
     seed: SeedLike = None,
     recorder: Recorder = NULL_RECORDER,
+    faults: Optional[FaultPlan] = None,
 ) -> SensedLink:
     """Evaluate one link end to end and run the classifier over it.
 
     Returns the *fine-grained* channel trace (for protocol simulation) and
     the stream of mobility estimates the serving AP produced — exactly what
     the mobility-aware protocols consume as hints.
+
+    ``faults`` degrades the classifier's ToF/CSI input (drop, duplicate,
+    delay, NaN — see :mod:`repro.faults`) without touching the channel
+    trace the protocols transmit over: the link is fine, the *sensing* is
+    impaired, which is the realistic failure mode (observables ride on the
+    client's existing traffic).
     """
     rng = ensure_rng(seed)
     channel_rng, csi_rng, tof_rng = spawn_rngs(rng, 3)
@@ -310,6 +318,7 @@ def sense_and_classify(
         measured[::csi_stride],
         tof_times=tof_times,
         tof_readings=tof_readings,
+        faults=faults,
     )
     engine = SimulationEngine(TimeGrid(trace.times[::csi_stride]), recorder=recorder)
     engine.add(session)

@@ -1,0 +1,26 @@
+"""Fault injection for degraded-input studies (``repro.faults``).
+
+Deterministic, seeded corruption of the ToF/CSI sensing streams —
+drop, duplicate, delay, NaN — composable through :class:`FaultPlan` and
+wired into :class:`repro.sim.SensingSession` so any protocol study can run
+under imperfect input.  See ``docs/architecture.md`` ("Degraded input &
+fault injection") for semantics and a runnable example.
+"""
+
+from repro.faults.injectors import (
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    Fault,
+    FaultPlan,
+    NaNFault,
+)
+
+__all__ = [
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
+    "Fault",
+    "FaultPlan",
+    "NaNFault",
+]

@@ -38,7 +38,7 @@ class AtherosRateAdaptation(LadderMixin, RateAdapter):
 
     def __init__(
         self,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         alpha: float = 1.0 / 8.0,
         probe_interval_s: float = 0.100,
         retries_before_down: int = 0,

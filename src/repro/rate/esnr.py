@@ -29,7 +29,7 @@ class ESNRRate(RateAdapter):
 
     def __init__(
         self,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         error_model: ErrorModel = ErrorModel(),
         calibration_bias_std_db: float = 0.75,
         bandwidth_hz: float = 40e6,

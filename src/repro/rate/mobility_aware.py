@@ -32,7 +32,7 @@ class MobilityAwareAtherosRA(RateAdapter):
     def __init__(
         self,
         policy_table: Optional[PolicyTable] = None,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
     ) -> None:
         self._inner = AtherosRateAdaptation(ladder=ladder)
         self._policy_table = policy_table or default_policy_table()

@@ -27,7 +27,7 @@ class OracleRate(RateAdapter):
         self,
         trace: ChannelTrace,
         error_model: ErrorModel = ErrorModel(),
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         bandwidth_hz: float = 40e6,
     ) -> None:
         self._trace = trace
@@ -57,7 +57,7 @@ class OracleRate(RateAdapter):
 def optimal_rate_series(
     trace: ChannelTrace,
     error_model: ErrorModel = ErrorModel(),
-    ladder: Sequence[int] = None,
+    ladder: Optional[Sequence[int]] = None,
     bandwidth_hz: float = 40e6,
 ) -> np.ndarray:
     """Optimal MCS index at every trace sample (Fig. 8(b)/(c) series)."""
@@ -76,7 +76,7 @@ def optimal_rate_series(
 def optimal_rate_hold_times(
     trace: ChannelTrace,
     error_model: ErrorModel = ErrorModel(),
-    ladder: Sequence[int] = None,
+    ladder: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
     """Durations (seconds) for which the optimal rate stays unchanged.
 

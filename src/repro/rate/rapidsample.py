@@ -29,7 +29,7 @@ class RapidSample(LadderMixin, RateAdapter):
 
     def __init__(
         self,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         up_after_successes: int = 2,
         min_up_interval_s: float = 0.010,
         failure_memory_s: float = 0.300,

@@ -44,7 +44,7 @@ class SampleRate(RateAdapter):
 
     def __init__(
         self,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         sample_fraction: float = 0.10,
         window_s: float = 10.0,
         bandwidth_hz: float = 40e6,

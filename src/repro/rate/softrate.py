@@ -30,7 +30,7 @@ class SoftRate(LadderMixin, RateAdapter):
 
     def __init__(
         self,
-        ladder: Sequence[int] = None,
+        ladder: Optional[Sequence[int]] = None,
         error_model: ErrorModel = ErrorModel(),
         estimate_noise_db: float = 0.8,
         target_per: float = 0.10,

@@ -8,10 +8,13 @@ generic pieces that several of them share.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.sim.engine import Session, StepClock, TimeGrid
 from repro.telemetry.recorder import Recorder
+
+if TYPE_CHECKING:  # import cycle guard: faults is a pure-util package
+    from repro.faults import FaultPlan
 
 
 class SensingSession(Session):
@@ -21,6 +24,14 @@ class SensingSession(Session):
     reading up to the step instant (``sense``) and then the step's CSI
     sample (``classify``).  Estimates are collected in arrival order —
     exactly the stream a serving AP would emit as mobility hints.
+
+    ``csi_by_step`` entries may be ``None`` — a step in which no CSI was
+    observed (no client traffic); the step simply classifies nothing, and a
+    time-aware classifier sees the resulting sampling gap.  A
+    :class:`repro.faults.FaultPlan` passed as ``faults`` degrades both
+    input streams at :meth:`start` (deterministically, per the plan seed),
+    so any protocol study can run under imperfect input; the injected
+    fault counts surface through the bound telemetry recorder.
     """
 
     def __init__(
@@ -31,6 +42,7 @@ class SensingSession(Session):
         tof_readings: Sequence[float] = (),
         client: str = "client",
         on_estimate: Optional[Callable[[float, Any], None]] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if len(tof_times) != len(tof_readings):
             raise ValueError("ToF times and readings must pair up")
@@ -41,6 +53,7 @@ class SensingSession(Session):
         self._tof_readings = tof_readings
         self._tof_cursor = 0
         self._on_estimate = on_estimate
+        self._faults = faults
         self.estimates: List[Any] = []
 
     def bind_recorder(self, recorder: Recorder) -> None:
@@ -56,6 +69,15 @@ class SensingSession(Session):
             raise ValueError(
                 f"{len(self._csi)} CSI samples cannot cover a {len(grid)}-step grid"
             )
+        if self._faults is not None:
+            self._tof_times, self._tof_readings = self._faults.apply_stream(
+                self._tof_times, self._tof_readings, label="tof"
+            )
+            self._csi = self._faults.apply_grid(self._csi, label="csi")
+            if self.recorder.enabled:
+                for name, count in self._faults.stats.items():
+                    if count:
+                        self.recorder.count(name, count, client=self.client)
 
     def sense(self, clock: StepClock) -> None:
         while (
@@ -68,7 +90,13 @@ class SensingSession(Session):
             self._tof_cursor += 1
 
     def classify(self, clock: StepClock) -> None:
-        estimate = self.classifier.push_csi(clock.start_s, self._csi[clock.index])
+        sample = self._csi[clock.index]
+        if sample is None:
+            # No traffic, no CSI: the step carries no observation.
+            if self.recorder.enabled:
+                self.recorder.count("sensing.csi_missing", client=self.client)
+            return
+        estimate = self.classifier.push_csi(clock.start_s, sample)
         if estimate is not None:
             self.estimates.append(estimate)
             if self._on_estimate is not None:

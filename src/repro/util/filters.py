@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional
 
 import numpy as np
@@ -159,6 +160,116 @@ class MedianFilter:
         return len(self._batch)
 
     def reset(self) -> None:
+        self._batch.clear()
+
+
+@dataclass(frozen=True)
+class MedianBatch:
+    """One closed aggregation period of a :class:`TimedMedianFilter`.
+
+    ``median`` is ``None`` for a *gap marker*: a period in which fewer than
+    the configured minimum of samples arrived.  Gap markers carry the span
+    they cover (consecutive empty periods collapse into one marker) so a
+    consumer can both invalidate derived state and report how long the
+    input was degraded.
+    """
+
+    start_s: float
+    end_s: float
+    median: Optional[float]
+    n_samples: int
+
+    @property
+    def is_gap(self) -> bool:
+        return self.median is None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class TimedMedianFilter:
+    """Wall-clock median aggregation: one batch per ``period_s`` of *time*.
+
+    :class:`MedianFilter` closes a batch after ``batch_size`` samples, which
+    is only correct when samples actually arrive at the nominal cadence.  An
+    AP samples ToF from the client's *existing* traffic, so any lull in
+    traffic silently stretches a count-based "second" of medians over
+    arbitrary real time.  This filter closes a batch when ``period_s`` of
+    wall clock elapses instead, and emits a gap marker (``median is None``)
+    for any period in which fewer than ``min_samples`` arrived.
+
+    Periods are anchored at the first sample's timestamp; after a gap the
+    anchor advances in whole periods, so batch boundaries stay aligned.
+    Timestamps must be non-decreasing (re-sort delayed deliveries upstream;
+    :class:`repro.faults.FaultPlan` does).
+    """
+
+    def __init__(self, period_s: float, min_samples: int = 1) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.period_s = float(period_s)
+        self.min_samples = int(min_samples)
+        self._anchor: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self._batch: List[float] = []
+
+    def _close(self, start_s: float, end_s: float) -> MedianBatch:
+        n = len(self._batch)
+        if n >= self.min_samples:
+            batch = MedianBatch(start_s, end_s, float(np.median(self._batch)), n)
+        else:
+            batch = MedianBatch(start_s, end_s, None, n)
+        self._batch.clear()
+        return batch
+
+    def push(self, time_s: float, sample: float) -> List[MedianBatch]:
+        """Add one timestamped sample; return the periods it closed.
+
+        Usually the empty list; one median (or gap) batch when ``time_s``
+        crosses a period boundary, plus one collapsed gap marker when whole
+        periods were skipped.
+        """
+        time_s = float(time_s)
+        if self._last_time is not None and time_s < self._last_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {time_s} after {self._last_time}"
+            )
+        self._last_time = time_s
+        closed: List[MedianBatch] = []
+        if self._anchor is None:
+            self._anchor = time_s
+        elif time_s >= self._anchor + self.period_s:
+            closed.append(self._close(self._anchor, self._anchor + self.period_s))
+            self._anchor += self.period_s
+            if time_s >= self._anchor + self.period_s:
+                # Whole periods with no samples at all: one collapsed gap.
+                n_skipped = int((time_s - self._anchor) // self.period_s)
+                gap_end = self._anchor + n_skipped * self.period_s
+                closed.append(MedianBatch(self._anchor, gap_end, None, 0))
+                self._anchor = gap_end
+        self._batch.append(float(sample))
+        return closed
+
+    def flush(self) -> Optional[MedianBatch]:
+        """Close the in-progress period early (if any samples) and reset."""
+        if self._anchor is None or not self._batch:
+            return None
+        batch = self._close(self._anchor, self._anchor + self.period_s)
+        self._anchor = None
+        self._last_time = None
+        return batch
+
+    @property
+    def pending(self) -> int:
+        """Samples accumulated toward the currently open period."""
+        return len(self._batch)
+
+    def reset(self) -> None:
+        self._anchor = None
+        self._last_time = None
         self._batch.clear()
 
 

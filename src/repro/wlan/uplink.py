@@ -75,8 +75,19 @@ def simulate_uplink(
     The uplink is one :class:`repro.rate.simulator.RateControlSession` on
     the engine grid — the same frame machinery as the downlink, configured
     with delayed hints and the hint-driven aggregation policy.
+
+    ``seed`` seeds the default :class:`FrameTransmitter` (``seed=0`` when
+    omitted, matching the historical default).  Passing a seed alongside an
+    explicit ``transmitter`` raises: the transmitter owns the RNG, and a
+    silently ignored determinism knob is a correctness trap.
     """
-    del seed  # reserved for future client-side randomness
+    if transmitter is None:
+        transmitter = FrameTransmitter(seed=seed if seed is not None else 0)
+    elif seed is not None:
+        raise ValueError(
+            "pass either seed or an explicit transmitter, not both: the "
+            "transmitter already owns the uplink RNG, so the seed would be ignored"
+        )
     delayed = delay_hints(hints, hint_delay_s)
     aggregation = aggregation or FixedAggregation(4.0)
     cursor = {"i": 0}

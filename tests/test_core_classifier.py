@@ -6,7 +6,9 @@ import pytest
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
 from repro.core.hints import MobilityEstimate
 from repro.core.policy import default_policy_table, mobility_oblivious_policy
+from repro.core.tof_trend import ToFTrendConfig
 from repro.mobility.modes import Heading, MobilityMode
+from repro.telemetry import TelemetryRecorder
 
 
 def _flat_csi(level=1.0, k=52, jitter=0.0, rng=None):
@@ -131,6 +133,190 @@ class TestToFGating:
         assert len(clf.history) == 4
 
 
+class TestToFGatingAcrossResets:
+    """Fig. 5: leaving device mobility must fully drop ToF state, including
+    any half-accumulated median batch."""
+
+    def _enter_device_mobility(self, clf, rng, t0=0.0):
+        t = t0
+        for _ in range(2):
+            clf.push_csi(t, _random_csi(rng))
+            t += 0.5
+        assert clf.wants_tof
+        return t
+
+    def test_stale_half_batch_does_not_leak_across_episodes(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rng = np.random.default_rng(21)
+        t = self._enter_device_mobility(clf, rng)
+        # Half a median batch (25 of 50 samples) at a low ToF value...
+        for i in range(25):
+            clf.push_tof(t + 0.02 * i, 100.0)
+        # ...then the client goes static: ToF stops, the window resets.
+        stable = _flat_csi()
+        for _ in range(4):
+            t += 0.5
+            clf.push_csi(t, stable)
+        assert not clf.wants_tof
+        # A new mobility episode at a much higher ToF value.
+        t = self._enter_device_mobility(clf, rng, t0=t + 0.5)
+        for i in range(50):
+            clf.push_tof(t + 0.02 * i, 200.0)
+        # Exactly one full batch: were the 25 stale samples still pending,
+        # the median would close early and mix 100s with 200s (150.0).
+        assert clf._tof_detector.medians == [200.0]
+
+    def test_explicit_reset_drops_pending_tof(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rng = np.random.default_rng(22)
+        t = self._enter_device_mobility(clf, rng)
+        for i in range(25):
+            clf.push_tof(t + 0.02 * i, 100.0)
+        clf.reset()
+        t = self._enter_device_mobility(clf, rng, t0=t + 10.0)
+        for i in range(50):
+            clf.push_tof(t + 0.02 * i, 200.0)
+        assert clf._tof_detector.medians == [200.0]
+
+
+class TestDegradedInput:
+    """Gap handling and invalid-sample hygiene on both sensing inputs."""
+
+    def _activate(self, clf, rng, t0=0.0, step=0.5):
+        t = t0
+        for _ in range(2):
+            clf.push_csi(t, _random_csi(rng))
+            t += step
+        assert clf.wants_tof
+        return t
+
+    def test_csi_gap_at_limit_still_compared(self):
+        clf = MobilityClassifier(
+            ClassifierConfig(max_csi_gap_s=1.0, similarity_smoothing_window=1)
+        )
+        stable = _flat_csi()
+        clf.push_csi(0.0, stable)
+        estimate = clf.push_csi(1.0, stable)  # exactly the limit: no gap
+        assert estimate is not None and estimate.mode == MobilityMode.STATIC
+
+    def test_csi_gap_beyond_limit_restarts_stream(self):
+        clf = MobilityClassifier(
+            ClassifierConfig(max_csi_gap_s=1.0, similarity_smoothing_window=1)
+        )
+        rec = TelemetryRecorder()
+        clf.recorder = rec
+        stable = _flat_csi()
+        clf.push_csi(0.0, stable)
+        clf.push_csi(0.5, stable)
+        rng = np.random.default_rng(23)
+        # A traffic lull, then a completely different channel.  Without gap
+        # awareness this would smell like device mobility; with it the
+        # stream restarts and the first post-gap sample makes no decision.
+        assert clf.push_csi(5.0, _random_csi(rng)) is None
+        assert clf.estimate.mode == MobilityMode.STATIC  # unchanged
+        assert rec.metrics.counter("classifier.csi_gaps").value == 1
+        (event,) = rec.tracer.of_kind("sensing_gap")
+        assert event.fields["reason"] == "sampling_gap"
+        assert event.fields["gap_s"] == pytest.approx(4.5)
+
+    def test_csi_gap_disabled_by_default(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        stable = _flat_csi()
+        clf.push_csi(0.0, stable)
+        estimate = clf.push_csi(60.0, stable)  # cadence-blind legacy path
+        assert estimate is not None
+
+    def test_non_finite_csi_discarded_and_counted(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rec = TelemetryRecorder()
+        clf.recorder = rec
+        stable = _flat_csi()
+        clf.push_csi(0.0, stable)
+        bad = stable.copy()
+        bad[7] = np.nan
+        assert clf.push_csi(0.5, bad) is None
+        assert rec.metrics.counter("classifier.invalid_samples").value == 1
+        # The corrupted sample must not become the comparison baseline.
+        estimate = clf.push_csi(1.0, stable)
+        assert estimate.mode == MobilityMode.STATIC
+        assert np.isfinite(estimate.csi_similarity)
+
+    def test_non_finite_tof_discarded_and_counted(self):
+        clf = MobilityClassifier(ClassifierConfig(similarity_smoothing_window=1))
+        rec = TelemetryRecorder()
+        clf.recorder = rec
+        rng = np.random.default_rng(24)
+        t = self._activate(clf, rng)
+        for i in range(50):
+            clf.push_tof(t + 0.02 * i, np.nan if i % 2 else 100.0)
+        assert rec.metrics.counter("classifier.invalid_samples").value == 25
+        # Only the 25 finite readings entered the (count-based) batch.
+        assert clf._tof_detector.medians == []
+
+    def test_tof_gap_surfaces_through_telemetry(self):
+        cfg = ClassifierConfig(
+            similarity_smoothing_window=1,
+            tof=ToFTrendConfig(time_aware=True, min_median_samples=10),
+        )
+        clf = MobilityClassifier(cfg)
+        rec = TelemetryRecorder()
+        clf.recorder = rec
+        rng = np.random.default_rng(25)
+        t = self._activate(clf, rng)
+        for i in range(50):
+            clf.push_tof(t + 0.02 * i, 100.0)
+        # Three readings in the next second: sparse -> gap on close.
+        clf.push_tof(t + 1.1, 101.0)
+        clf.push_tof(t + 1.5, 101.0)
+        clf.push_tof(t + 1.9, 101.0)
+        clf.push_tof(t + 2.05, 102.0)  # closes the sparse period
+        assert rec.metrics.counter("classifier.tof_gaps").value == 1
+        assert rec.metrics.counter("tof.medians_discarded").value == 1
+        events = rec.tracer.of_kind("sensing_gap")
+        assert any(e.fields["reason"] == "sparse_period" for e in events)
+
+
+class TestStretchedWindowBug:
+    """The acceptance scenario: >=20% ToF loss over a macro-mobility trace.
+
+    A count-based median filter silently stretches each "one second" batch
+    over the longer wall-clock span the surviving samples cover, so a slow
+    drift that should stay below ``min_net_cycles`` accumulates into a fake
+    macro heading.  The time-aware detector keeps wall-clock windows honest.
+    """
+
+    def _degraded_run(self, config, duration_s=30.0, drift_per_s=0.15, drop=0.5):
+        clf = MobilityClassifier(config)
+        csi_rng = np.random.default_rng(31)
+        drop_rng = np.random.default_rng(32)
+        modes = []
+        t = 0.0
+        while t < duration_s:
+            estimate = clf.push_csi(t, _random_csi(csi_rng))
+            if estimate is not None:
+                modes.append(estimate.mode)
+            for i in range(25):  # 20 ms ToF cadence between CSI samples
+                ts = t + 0.02 * i
+                if drop_rng.random() >= drop:
+                    clf.push_tof(ts, 100.0 + drift_per_s * ts)
+            t += 0.5
+        return modes
+
+    def test_count_based_reports_false_macro_under_drops(self):
+        """Documents the bug: the legacy config fakes a MACRO heading."""
+        modes = self._degraded_run(ClassifierConfig(similarity_smoothing_window=1))
+        assert MobilityMode.MACRO in modes
+
+    def test_time_aware_rejects_stretched_window(self):
+        cfg = ClassifierConfig(
+            similarity_smoothing_window=1,
+            tof=ToFTrendConfig(time_aware=True, min_median_samples=10),
+        )
+        modes = self._degraded_run(cfg)
+        assert MobilityMode.MACRO not in modes
+        assert MobilityMode.MICRO in modes  # device mobility still seen
+
+
 class TestConfigValidation:
     def test_threshold_order_enforced(self):
         with pytest.raises(ValueError):
@@ -139,6 +325,11 @@ class TestConfigValidation:
     def test_positive_period(self):
         with pytest.raises(ValueError):
             ClassifierConfig(csi_sampling_period_s=0.0)
+
+    def test_max_csi_gap_must_be_positive(self):
+        with pytest.raises(ValueError, match="max CSI gap"):
+            ClassifierConfig(max_csi_gap_s=0.0)
+        assert ClassifierConfig(max_csi_gap_s=None).max_csi_gap_s is None
 
 
 class TestHints:

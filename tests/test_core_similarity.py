@@ -67,9 +67,26 @@ class TestSimilarity:
         with pytest.raises(ValueError):
             csi_similarity(np.ones(52), np.ones(50))
 
-    def test_bad_ndim_rejected(self):
+    def test_bad_ndim_rejected_with_reshape_hint(self):
+        with pytest.raises(ValueError, match=r"reshape.*\(K, -1\)"):
+            csi_similarity(np.ones((2, 2, 2, 2)), np.ones((2, 2, 2, 2)))
+
+    def test_two_d_matches_three_d(self):
+        rng = np.random.default_rng(42)
+        a = rng.standard_normal((16, 2, 2)) + 1j * rng.standard_normal((16, 2, 2))
+        b = rng.standard_normal((16, 2, 2)) + 1j * rng.standard_normal((16, 2, 2))
+        flat = csi_similarity(a.reshape(16, -1), b.reshape(16, -1))
+        assert flat == pytest.approx(csi_similarity(a, b))
+
+    def test_two_d_single_pair_matches_one_d(self):
+        rng = np.random.default_rng(43)
+        a = rng.standard_normal(32)
+        b = rng.standard_normal(32)
+        assert csi_similarity(a[:, None], b[:, None]) == pytest.approx(csi_similarity(a, b))
+
+    def test_two_d_empty_pairs_rejected(self):
         with pytest.raises(ValueError):
-            csi_similarity(np.ones((2, 2)), np.ones((2, 2)))
+            csi_similarity(np.ones((4, 0)), np.ones((4, 0)))
 
 
 class TestStreamAndSeries:
@@ -89,7 +106,9 @@ class TestStreamAndSeries:
 
     def test_series_short_trace(self):
         h = np.ones((2, 52, 1, 1), dtype=complex)
-        assert len(csi_similarity_series(h, lag=5)) == 0
+        series = csi_similarity_series(h, lag=5)
+        assert series.shape == (0,)  # documented: same 1-D shape as results
+        assert len(np.concatenate([series, np.ones(3)])) == 3
 
     def test_series_invalid_lag(self):
         h = np.ones((4, 52, 1, 1), dtype=complex)

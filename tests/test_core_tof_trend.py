@@ -56,6 +56,30 @@ class TestConfig:
         with pytest.raises(ValueError):
             ToFTrendConfig(min_net_cycles=0.0)
 
+    def test_zero_step_tolerance_accepted(self):
+        """Tolerance 0 = strictly monotone windows required; it is valid."""
+        config = ToFTrendConfig(step_tolerance_cycles=0.0)
+        assert config.step_tolerance_cycles == 0.0
+
+    def test_negative_step_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ToFTrendConfig(step_tolerance_cycles=-0.1)
+
+    def test_zero_min_net_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ToFTrendConfig(min_net_cycles=0.0)
+
+    def test_negative_min_net_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ToFTrendConfig(min_net_cycles=-1.0)
+
+    def test_min_median_samples_boundaries(self):
+        with pytest.raises(ValueError):
+            ToFTrendConfig(min_median_samples=0)
+        assert ToFTrendConfig(min_median_samples=1).effective_min_median_samples == 1
+        # Default: half the nominal samples per median (50/s -> 25).
+        assert ToFTrendConfig(time_aware=True).effective_min_median_samples == 25
+
 
 class TestDetector:
     def _push_seconds(self, detector, values_per_second):
@@ -109,6 +133,111 @@ class TestDetector:
         results = [detector.push(100.0) for _ in range(50)]
         assert results[-1] is not None
         assert all(r is None for r in results[:-1])
+
+
+class TestTimeAwareDetector:
+    """Wall-clock aggregation and gap invalidation (time_aware=True)."""
+
+    def _config(self, **kwargs):
+        return ToFTrendConfig(time_aware=True, min_median_samples=10, **kwargs)
+
+    def _push_seconds(self, detector, values_per_second, t0=0.0, interval=0.02):
+        t = t0
+        for value in values_per_second:
+            for _ in range(50):
+                detector.push(value, time_s=t)
+                t += interval
+        return t
+
+    def test_requires_timestamp(self):
+        detector = ToFTrendDetector(self._config())
+        with pytest.raises(ValueError, match="time_s"):
+            detector.push(100.0)
+
+    def test_uniform_cadence_matches_count_based(self):
+        # 1/64 s is exactly representable, so period boundaries land on
+        # sample timestamps with no float drift: both detectors must see
+        # identical batches and produce identical medians and trends.
+        interval = 1.0 / 64.0
+        timed = ToFTrendDetector(
+            ToFTrendConfig(sample_interval_s=interval, time_aware=True, min_median_samples=10)
+        )
+        counted = ToFTrendDetector(ToFTrendConfig(sample_interval_s=interval))
+        for i in range(64 * 6 + 1):
+            value = 100.0 + (i // 64)
+            timed.push(value, time_s=i * interval)
+            counted.push(value)
+        assert timed.trend == counted.trend == ToFTrend.INCREASING
+        assert timed.medians == counted.medians
+        assert timed.n_gaps == 0
+
+    def test_sparse_period_emits_gap_and_invalidates(self):
+        detector = ToFTrendDetector(self._config())
+        self._push_seconds(detector, [100, 101, 102, 103, 104])
+        # One second with only 3 readings: below min_median_samples.  The
+        # first push closes the healthy [4 s, 5 s) period -> window fills.
+        for t in (5.1, 5.5, 5.9):
+            detector.push(105.0, time_s=t)
+        assert detector.window_full
+        assert detector.trend == ToFTrend.INCREASING
+        detector.push(106.0, time_s=6.05)  # closes the sparse period
+        assert detector.n_gaps == 1
+        assert detector.n_medians_discarded == 1
+        assert detector.n_windows_invalidated == 1
+        assert not detector.window_full
+        assert detector.trend == ToFTrend.NONE
+
+    def test_total_outage_collapses_to_one_gap(self):
+        detector = ToFTrendDetector(self._config())
+        end = self._push_seconds(detector, [100, 101])
+        # 10 s of silence, then readings resume.
+        detector.push(110.0, time_s=end + 10.0)
+        # The open period closes (full: 50 samples) and the empty span
+        # collapses into a single gap marker, not ten.
+        assert detector.n_gaps == 1
+        assert detector.n_medians_discarded == 0  # no partial data lost
+        assert detector.trend == ToFTrend.NONE
+        assert not detector.window_full
+
+    def test_window_rebuilds_after_gap(self):
+        detector = ToFTrendDetector(self._config())
+        self._push_seconds(detector, [100, 101, 102, 103, 104])
+        detector.push(105.0, time_s=20.0)  # long outage
+        assert detector.trend == ToFTrend.NONE
+        # Six more seconds of readings: five fresh periods close and the
+        # trend window rebuilds from contiguous medians only.
+        self._push_seconds(detector, [106, 107, 108, 109, 110, 111], t0=20.02)
+        assert detector.trend == ToFTrend.INCREASING
+
+    def test_slow_drift_not_stretched_into_trend(self):
+        """The bug this mode fixes: 50% sample loss must not let a
+        sub-threshold drift accumulate over a stretched window."""
+        drift_per_s = 0.15  # cycles/s: needs ~6.7 s to clear min_net=1.0
+        # Count-based detector with half the samples missing: each "second"
+        # of medians actually spans 2 s, the 5-median window spans ~10 s,
+        # and the net change (~1.5 cycles) fakes a macro trend.
+        counted = ToFTrendDetector()
+        timed = ToFTrendDetector(self._config())
+        rng = np.random.default_rng(9)
+        t = 0.0
+        while t < 14.0:
+            value = 100.0 + drift_per_s * t
+            if rng.random() >= 0.5:  # 50% drop
+                counted.push(value)
+                timed.push(value, time_s=t)
+            t += 0.02
+        assert counted.trend == ToFTrend.INCREASING  # the silent corruption
+        assert timed.trend == ToFTrend.NONE  # wall-clock windows stay honest
+
+    def test_reset_drops_partial_timed_batch(self):
+        detector = ToFTrendDetector(self._config())
+        for i in range(30):
+            detector.push(100.0, time_s=0.02 * i)
+        detector.reset()
+        # A new episode starting later must not inherit the half batch.
+        detector.push(200.0, time_s=50.0)
+        assert detector.n_gaps == 0
+        assert detector.medians == []
 
 
 class TestEndToEnd:

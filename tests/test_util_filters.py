@@ -10,6 +10,7 @@ from repro.util.filters import (
     MedianFilter,
     MovingWindow,
     SlidingStatistics,
+    TimedMedianFilter,
 )
 
 
@@ -141,6 +142,68 @@ class TestMedianFilter:
         assert median.pending == 1
         median.reset()
         assert median.pending == 0
+
+
+class TestTimedMedianFilter:
+    def test_batch_closes_on_elapsed_time_not_count(self):
+        filt = TimedMedianFilter(period_s=1.0, min_samples=2)
+        assert filt.push(0.0, 5.0) == []
+        assert filt.push(0.4, 100.0) == []
+        assert filt.push(0.8, 6.0) == []
+        (batch,) = filt.push(1.1, 7.0)
+        assert not batch.is_gap
+        assert batch.median == 6.0
+        assert (batch.start_s, batch.end_s, batch.n_samples) == (0.0, 1.0, 3)
+
+    def test_sparse_period_becomes_gap_marker(self):
+        filt = TimedMedianFilter(period_s=1.0, min_samples=3)
+        filt.push(0.0, 5.0)
+        (batch,) = filt.push(1.5, 6.0)
+        assert batch.is_gap
+        assert batch.median is None
+        assert batch.n_samples == 1
+
+    def test_empty_periods_collapse_into_one_gap(self):
+        filt = TimedMedianFilter(period_s=1.0, min_samples=1)
+        for t in (0.0, 0.2, 0.4):
+            filt.push(t, 10.0)
+        closed = filt.push(7.3, 11.0)
+        assert len(closed) == 2
+        median, gap = closed
+        assert median.median == 10.0
+        assert gap.is_gap and gap.n_samples == 0
+        assert (gap.start_s, gap.end_s) == (1.0, 7.0)
+        # The new sample belongs to the freshly anchored period.
+        assert filt.pending == 1
+
+    def test_periods_stay_anchored(self):
+        filt = TimedMedianFilter(period_s=1.0, min_samples=1)
+        filt.push(0.5, 1.0)
+        (batch,) = filt.push(1.6, 2.0)
+        assert (batch.start_s, batch.end_s) == (0.5, 1.5)
+
+    def test_non_monotonic_time_rejected(self):
+        filt = TimedMedianFilter(period_s=1.0)
+        filt.push(1.0, 5.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            filt.push(0.5, 5.0)
+
+    def test_flush_and_reset(self):
+        filt = TimedMedianFilter(period_s=1.0, min_samples=1)
+        filt.push(0.0, 4.0)
+        filt.push(0.5, 8.0)
+        batch = filt.flush()
+        assert batch.median == 6.0
+        assert filt.flush() is None
+        assert filt.pending == 0
+        filt.push(10.0, 1.0)  # fresh anchor after flush
+        assert filt.push(10.2, 1.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedMedianFilter(period_s=0.0)
+        with pytest.raises(ValueError):
+            TimedMedianFilter(period_s=1.0, min_samples=0)
 
 
 class TestSlidingStatistics:
