@@ -21,7 +21,17 @@ system inventory, and ``EXPERIMENTS.md`` for paper-vs-measured results.
 """
 
 from repro.channel import ChannelConfig, ChannelTrace, LinkChannel, MultiLinkChannel
-from repro.faults import DelayFault, DropFault, DuplicateFault, FaultPlan, NaNFault
+from repro.faults import (
+    ChannelEvalFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    InjectedFault,
+    NaNFault,
+    RecorderFault,
+    SessionCrashFault,
+)
 from repro.core import (
     ClassifierConfig,
     MobilityClassifier,
@@ -38,7 +48,14 @@ from repro.mobility import (
     MobilityMode,
     MobilityScenario,
 )
-from repro.sim import Session, SessionError, SimulationEngine, TimeGrid
+from repro.sim import (
+    FailureRecord,
+    Session,
+    SessionError,
+    SimulationEngine,
+    SupervisorConfig,
+    TimeGrid,
+)
 from repro.telemetry import (
     NULL_RECORDER,
     MetricsRegistry,
@@ -49,20 +66,23 @@ from repro.telemetry import (
 )
 from repro.util.geometry import Point
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "NULL_RECORDER",
     "ChannelConfig",
+    "ChannelEvalFault",
     "ChannelTrace",
     "ClassifierConfig",
     "DelayFault",
     "DropFault",
     "DuplicateFault",
     "EnvironmentActivity",
+    "FailureRecord",
     "FaultPlan",
     "GroundTruth",
     "Heading",
+    "InjectedFault",
     "LinkChannel",
     "MetricsRegistry",
     "MobilityClassifier",
@@ -75,10 +95,13 @@ __all__ = [
     "NullRecorder",
     "Point",
     "PolicyTable",
+    "RecorderFault",
     "Recorder",
     "Session",
+    "SessionCrashFault",
     "SessionError",
     "SimulationEngine",
+    "SupervisorConfig",
     "TelemetryRecorder",
     "TimeGrid",
     "Tracer",

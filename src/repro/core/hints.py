@@ -43,3 +43,23 @@ class MobilityEstimate:
     @property
     def moving_towards(self) -> bool:
         return self.mode == MobilityMode.MACRO and self.heading == Heading.TOWARDS
+
+
+def safe_default_hint(time_s: float) -> MobilityEstimate:
+    """The mobility-oblivious hint consumers fall back to when a client's
+    sensing pipeline is quarantined (see :mod:`repro.sim.supervisor`).
+
+    ``STATIC`` with ``tof_window_full=False`` is exactly the state of a
+    pipeline that has not produced a settled verdict yet: no heading, no
+    similarity, and the provisional flag set — so no mobility-triggered
+    adaptation (eager handoffs, rate pinning, scheduler bias) fires on
+    stale state, and the AP degrades to mobility-oblivious behaviour for
+    that client instead of acting on the last pre-failure estimate.
+    """
+    return MobilityEstimate(
+        time_s=time_s,
+        mode=MobilityMode.STATIC,
+        heading=Heading.NONE,
+        csi_similarity=None,
+        tof_window_full=False,
+    )

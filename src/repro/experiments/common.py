@@ -26,7 +26,7 @@ from repro.faults import FaultPlan
 from repro.mobility.modes import MODE_ORDER, GroundTruth, Heading, MobilityMode
 from repro.mobility.scenarios import MobilityScenario
 from repro.phy.tof import ToFConfig, ToFSampler
-from repro.sim import SensingSession, SimulationEngine, TimeGrid
+from repro.sim import FailureRecord, SensingSession, SimulationEngine, SupervisorConfig, TimeGrid
 from repro.telemetry.recorder import NULL_RECORDER, Recorder
 from repro.util.geometry import Point
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs, stable_seed
@@ -254,12 +254,20 @@ def tof_config_interval(classifier_config: ClassifierConfig) -> float:
 
 @dataclass
 class SensedLink:
-    """One link fully sensed: trajectory, channel trace, classifier output."""
+    """One link fully sensed: trajectory, channel trace, classifier output.
+
+    ``failure`` is only set when the run used a non-fail-fast supervisor
+    policy and the sensing session was quarantined: ``hints`` is then the
+    (possibly empty) partial stream and ``failure`` names the failing
+    phase/step — the protocols still have the channel trace to carry
+    traffic over, exactly the advisory-hints contract.
+    """
 
     trajectory: "TrajectoryTrace"
     trace: "ChannelTrace"
     hints: List[MobilityEstimate]
     truths: List[GroundTruth]
+    failure: Optional[FailureRecord] = None
 
 
 def sense_and_classify(
@@ -273,6 +281,7 @@ def sense_and_classify(
     seed: SeedLike = None,
     recorder: Recorder = NULL_RECORDER,
     faults: Optional[FaultPlan] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> SensedLink:
     """Evaluate one link end to end and run the classifier over it.
 
@@ -284,7 +293,9 @@ def sense_and_classify(
     delay, NaN — see :mod:`repro.faults`) without touching the channel
     trace the protocols transmit over: the link is fine, the *sensing* is
     impaired, which is the realistic failure mode (observables ride on the
-    client's existing traffic).
+    client's existing traffic).  ``supervisor`` selects the engine failure
+    policy; under ``isolate``/``retry`` a crashing sensing pipeline yields
+    partial hints plus :attr:`SensedLink.failure` instead of raising.
     """
     rng = ensure_rng(seed)
     channel_rng, csi_rng, tof_rng = spawn_rngs(rng, 3)
@@ -297,9 +308,16 @@ def sense_and_classify(
     # coarser, sample at the grid cadence and tell the trend detector so its
     # per-second median batches stay one second long.
     fine_grid = TimeGrid(trace.times, fallback_dt_s=dt_s)
-    tof_stride = fine_grid.stride_for(
-        tof_config_interval(classifier_config), strict=False, name="tof sample_interval_s"
-    )
+    tof_period_s = tof_config_interval(classifier_config)
+    if tof_period_s < fine_grid.dt_s:
+        # Deliberate sub-grid cadence: sample ToF at the grid cadence and
+        # stretch the configured interval below, so the trend detector
+        # still sees correctly-sized per-second median batches.
+        tof_stride = 1
+    else:
+        tof_stride = fine_grid.stride_for(
+            tof_period_s, strict=False, name="tof sample_interval_s"
+        )
     effective_interval = tof_stride * dt_s
     if abs(effective_interval - classifier_config.tof.sample_interval_s) > 1e-9:
         classifier_config = replace(
@@ -320,11 +338,22 @@ def sense_and_classify(
         tof_readings=tof_readings,
         faults=faults,
     )
-    engine = SimulationEngine(TimeGrid(trace.times[::csi_stride]), recorder=recorder)
+    engine = SimulationEngine(
+        TimeGrid(trace.times[::csi_stride]), recorder=recorder, supervisor=supervisor
+    )
     engine.add(session)
-    hints: List[MobilityEstimate] = engine.run()[session.client]
+    result = engine.run()[session.client]
     truths = scenario.ground_truth(trajectory, ap)
-    return SensedLink(trajectory=trajectory, trace=trace, hints=hints, truths=truths)
+    if isinstance(result, FailureRecord):
+        # Quarantined pipeline: partial hints, structured failure attached.
+        return SensedLink(
+            trajectory=trajectory,
+            trace=trace,
+            hints=list(session.estimates),
+            truths=truths,
+            failure=result,
+        )
+    return SensedLink(trajectory=trajectory, trace=trace, hints=result, truths=truths)
 
 
 def mode_label(mode: MobilityMode, heading: Heading = Heading.NONE) -> str:

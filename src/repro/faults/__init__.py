@@ -1,12 +1,27 @@
-"""Fault injection for degraded-input studies (``repro.faults``).
+"""Fault injection for degraded-input and chaos studies (``repro.faults``).
 
-Deterministic, seeded corruption of the ToF/CSI sensing streams —
-drop, duplicate, delay, NaN — composable through :class:`FaultPlan` and
-wired into :class:`repro.sim.SensingSession` so any protocol study can run
-under imperfect input.  See ``docs/architecture.md`` ("Degraded input &
-fault injection") for semantics and a runnable example.
+Two layers of deterministic, seeded failure injection:
+
+* **input-stream corruption** (:mod:`repro.faults.injectors`) — drop,
+  duplicate, delay, NaN over the ToF/CSI sensing streams, composable
+  through :class:`FaultPlan` and wired into
+  :class:`repro.sim.SensingSession`;
+* **component-level chaos** (:mod:`repro.faults.chaos`) —
+  :class:`SessionCrashFault` (raise in a chosen phase/step),
+  :class:`ChannelEvalFault`, and :class:`RecorderFault`, the harness for
+  the engine's supervision policies (:mod:`repro.sim.supervisor`).
+
+See ``docs/architecture.md`` ("Degraded input & fault injection",
+"Supervision & failure domains") for semantics and runnable examples.
 """
 
+from repro.faults.chaos import (
+    ChannelEvalFault,
+    ChaosSession,
+    InjectedFault,
+    RecorderFault,
+    SessionCrashFault,
+)
 from repro.faults.injectors import (
     DelayFault,
     DropFault,
@@ -17,10 +32,15 @@ from repro.faults.injectors import (
 )
 
 __all__ = [
+    "ChannelEvalFault",
+    "ChaosSession",
     "DelayFault",
     "DropFault",
     "DuplicateFault",
     "Fault",
     "FaultPlan",
+    "InjectedFault",
     "NaNFault",
+    "RecorderFault",
+    "SessionCrashFault",
 ]

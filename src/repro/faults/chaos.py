@@ -1,0 +1,277 @@
+"""Component-level chaos injection: crash the pipeline, not just its input.
+
+:mod:`repro.faults.injectors` degrades the *data* a sensing pipeline
+consumes; this module breaks the *components* themselves — a session that
+raises mid-phase, a channel evaluation that blows up, a telemetry sink
+that throws from inside an observation hook.  Together with the engine's
+supervision policies (:mod:`repro.sim.supervisor`) they make failure
+containment testable: seed a crash, run under ``isolate``/``retry``, and
+assert the quarantine set and every survivor's results are reproduced bit
+for bit.
+
+All injectors are deterministic: a pinned location (``at_step`` /
+``at_call``) or a seeded RNG that is private to the injector, so the
+simulation's own RNG streams are never perturbed.  Injected failures
+raise :class:`InjectedFault`, distinguishable from organic bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.sim.engine import Session, StepClock, TimeGrid
+from repro.telemetry.recorder import Recorder
+from repro.util.rng import SeedLike, ensure_rng
+
+#: Phases a :class:`SessionCrashFault` can target (engine phases plus the
+#: session lifecycle hooks).
+CRASHABLE_PHASES = ("start", "sense", "classify", "adapt", "transmit", "finish")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by chaos injectors; never thrown by organic simulation code."""
+
+
+class SessionCrashFault:
+    """Crash a wrapped session in a chosen phase at chosen step(s).
+
+    ``at_step`` pins the first crashing step; leave it ``None`` and the
+    fault picks one uniformly over the run from its own seeded RNG when
+    the session starts.  ``n_crashes`` consecutive steps raise — one
+    transient crash exercises the ``retry`` policy's suspend/resume path,
+    ``n_crashes > max_retries`` forces escalation to quarantine.  For
+    ``phase="start"``/``"finish"`` the step machinery does not apply and
+    the hook simply raises (``n_crashes`` times for ``start``, so a
+    retried re-start can recover).
+
+    Usage::
+
+        fault = SessionCrashFault(phase="classify", at_step=5)
+        engine.add(fault.wrap(session))
+    """
+
+    def __init__(
+        self,
+        phase: str = "classify",
+        at_step: Optional[int] = None,
+        n_crashes: int = 1,
+        seed: SeedLike = None,
+        message: str = "injected session crash",
+    ) -> None:
+        if phase not in CRASHABLE_PHASES:
+            raise ValueError(f"phase must be one of {CRASHABLE_PHASES}, got {phase!r}")
+        if at_step is not None and at_step < 0:
+            raise ValueError(f"at_step must be non-negative, got {at_step}")
+        if n_crashes < 1:
+            raise ValueError(f"n_crashes must be positive, got {n_crashes}")
+        self.phase = phase
+        self.at_step = at_step
+        self.n_crashes = n_crashes
+        self.message = message
+        self._seed = seed
+        self.n_fired = 0
+
+    def arm(self, n_steps: int) -> None:
+        """Fix the crash window for a run of ``n_steps`` (seeded if unpinned)."""
+        if self.at_step is None:
+            self.at_step = int(ensure_rng(self._seed).integers(0, max(n_steps, 1)))
+
+    def should_crash(self, phase: str, step: int) -> bool:
+        if phase != self.phase:
+            return False
+        first = self.at_step if self.at_step is not None else 0
+        return first <= step < first + self.n_crashes
+
+    def fire(self) -> None:
+        self.n_fired += 1
+        raise InjectedFault(self.message)
+
+    def wrap(self, session: Session) -> "ChaosSession":
+        """The session, wrapped to crash per this fault's schedule."""
+        return ChaosSession(session, self)
+
+
+class ChaosSession(Session):
+    """Delegates every hook to ``inner``, raising per the fault schedule."""
+
+    def __init__(self, inner: Session, fault: SessionCrashFault) -> None:
+        self.inner = inner
+        self.client = inner.client
+        self.fault = fault
+        self._start_attempts = 0
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        super().bind_recorder(recorder)
+        self.inner.bind_recorder(recorder)
+
+    def start(self, grid: TimeGrid) -> None:
+        self.fault.arm(len(grid))
+        if self.fault.phase == "start":
+            self._start_attempts += 1
+            if self._start_attempts <= self.fault.n_crashes:
+                self.fault.fire()
+        self.inner.start(grid)
+
+    def _phase(self, phase: str, clock: StepClock) -> None:
+        if self.fault.should_crash(phase, clock.index):
+            self.fault.fire()
+        getattr(self.inner, phase)(clock)
+
+    def sense(self, clock: StepClock) -> None:
+        self._phase("sense", clock)
+
+    def classify(self, clock: StepClock) -> None:
+        self._phase("classify", clock)
+
+    def adapt(self, clock: StepClock) -> None:
+        self._phase("adapt", clock)
+
+    def transmit(self, clock: StepClock) -> None:
+        self._phase("transmit", clock)
+
+    def finish(self) -> Any:
+        if self.fault.phase == "finish":
+            self.fault.fire()
+        return self.inner.finish()
+
+    def on_quarantine(self, time_s: float, record) -> None:
+        self.inner.on_quarantine(time_s, record)
+
+
+class _ChaosChannel:
+    """Attribute-transparent proxy raising on a chosen evaluation call."""
+
+    def __init__(self, inner: Any, fault: "ChannelEvalFault") -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_fault", fault)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        setattr(self._inner, name, value)
+
+    def evaluate_many(self, *args: Any, **kwargs: Any) -> Any:
+        self._fault.check()
+        return self._inner.evaluate_many(*args, **kwargs)
+
+    def evaluate(self, *args: Any, **kwargs: Any) -> Any:
+        self._fault.check()
+        return self._inner.evaluate(*args, **kwargs)
+
+
+class ChannelEvalFault:
+    """Make a wrapped channel's ``evaluate``/``evaluate_many`` raise.
+
+    ``at_call`` counts evaluation calls across the wrapper (0 = the first
+    one).  Exercises the engine-builder paths: a failing batched
+    evaluation in :meth:`repro.sim.SimulationEngine.for_clients` must
+    still leave the caller's channel unmutated.
+    """
+
+    def __init__(self, at_call: int = 0, message: str = "injected channel failure") -> None:
+        if at_call < 0:
+            raise ValueError(f"at_call must be non-negative, got {at_call}")
+        self.at_call = at_call
+        self.message = message
+        self.n_calls = 0
+        self.n_fired = 0
+
+    def check(self) -> None:
+        call = self.n_calls
+        self.n_calls += 1
+        if call == self.at_call:
+            self.n_fired += 1
+            raise InjectedFault(self.message)
+
+    def wrap(self, channel: Any) -> Any:
+        """The channel, wrapped to raise on the scheduled evaluation."""
+        return _ChaosChannel(channel, self)
+
+
+class _ChaosRecorder(Recorder):
+    """Forwards hooks to ``inner``, raising per the fault's seeded draws."""
+
+    def __init__(self, inner: Recorder, fault: "RecorderFault") -> None:
+        self.inner = inner
+        self.fault = fault
+        self.enabled = inner.enabled
+
+    def count(self, name: str, value: float = 1.0, client: Optional[str] = None) -> None:
+        self.fault.check("count")
+        self.inner.count(name, value, client=client)
+
+    def gauge(self, name: str, value: float, client: Optional[str] = None) -> None:
+        self.fault.check("gauge")
+        self.inner.gauge(name, value, client=client)
+
+    def observe(self, name: str, value: float, client: Optional[str] = None) -> None:
+        self.fault.check("observe")
+        self.inner.observe(name, value, client=client)
+
+    def event(
+        self,
+        kind: str,
+        time_s: float,
+        client: Optional[str] = None,
+        step: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        self.fault.check("event")
+        self.inner.event(kind, time_s, client=client, step=step, **fields)
+
+    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+        self.fault.check("phase_time")
+        self.inner.phase_time(phase, step, time_s, elapsed_s)
+
+    def channel_eval(
+        self,
+        op: str,
+        batch_size: int,
+        n_samples: int,
+        elapsed_s: float,
+        time_s: float = 0.0,
+        batched: bool = False,
+    ) -> None:
+        self.fault.check("channel_eval")
+        self.inner.channel_eval(
+            op, batch_size, n_samples, elapsed_s, time_s=time_s, batched=batched
+        )
+
+
+class RecorderFault:
+    """Make a wrapped recorder's hooks raise with seeded probability.
+
+    The acceptance harness for "observability must only observe": an
+    engine run whose recorder is wrapped by this fault must complete with
+    bit-identical results — the engine's shield
+    (:class:`repro.telemetry.ShieldedRecorder`) absorbs every raise.
+    ``hooks`` restricts which hook names can fire; ``rate=1.0`` raises on
+    every targeted hook call.
+    """
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        seed: SeedLike = None,
+        hooks: Iterable[str] = ("count", "gauge", "observe", "event", "phase_time", "channel_eval"),
+        message: str = "injected recorder failure",
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.hooks = frozenset(hooks)
+        self.message = message
+        self._rng = ensure_rng(seed)
+        self.n_fired = 0
+
+    def check(self, hook: str) -> None:
+        if hook not in self.hooks:
+            return
+        if self.rate >= 1.0 or self._rng.random() < self.rate:
+            self.n_fired += 1
+            raise InjectedFault(f"{self.message} ({hook})")
+
+    def wrap(self, recorder: Recorder) -> Recorder:
+        """The recorder, wrapped to raise per this fault's schedule."""
+        return _ChaosRecorder(recorder, self)

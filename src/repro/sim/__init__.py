@@ -6,6 +6,12 @@ per-client :class:`Session` components; the protocol entry points in
 ``repro.rate`` are thin configurations of this loop.  Multi-client runs
 evaluate their channels through the batched
 :class:`repro.channel.model.MultiLinkChannel` path.
+
+Failure containment is configured per run through
+:class:`SupervisorConfig` (``fail_fast`` — the default strict abort —
+``isolate``, or ``retry``); quarantined clients surface as
+:class:`FailureRecord` partial results.  See
+:mod:`repro.sim.supervisor`.
 """
 
 from repro.sim.engine import (
@@ -17,13 +23,18 @@ from repro.sim.engine import (
     TimeGrid,
 )
 from repro.sim.sessions import SensingSession
+from repro.sim.supervisor import POLICIES, FailureRecord, Supervisor, SupervisorConfig
 
 __all__ = [
     "PHASES",
+    "POLICIES",
+    "FailureRecord",
     "SensingSession",
     "Session",
     "SessionError",
     "SimulationEngine",
     "StepClock",
+    "Supervisor",
+    "SupervisorConfig",
     "TimeGrid",
 ]

@@ -19,17 +19,25 @@ wraps failures in :class:`SessionError` naming the offending client, and
 (via :meth:`SimulationEngine.for_clients`) evaluates multi-client channels
 through the batched :class:`repro.channel.model.MultiLinkChannel` path
 instead of N scalar per-link loops.
+
+Failure containment is pluggable: a :class:`repro.sim.SupervisorConfig`
+selects between the historical ``fail_fast`` abort (default,
+bit-identical), per-session quarantine (``isolate``) and bounded
+retry-with-backoff (``retry``) — see :mod:`repro.sim.supervisor` and
+``docs/architecture.md`` ("Supervision & failure domains").
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.telemetry.recorder import NULL_RECORDER, Recorder
+from repro.sim.supervisor import FailureRecord, Supervisor, SupervisorConfig
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, shield
 
 #: Phase order of one engine step.  ``sense`` ingests observables (CSI,
 #: ToF, RSSI), ``classify`` turns them into mobility estimates, ``adapt``
@@ -103,6 +111,22 @@ class TimeGrid:
         if period_s <= 0:
             raise ValueError(f"{name} must be positive, got {period_s}")
         ratio = period_s / self.dt_s
+        if ratio < 1.0 - 1e-9:
+            # A cadence faster than the grid cannot be honoured — there is
+            # at most one sample per step.  Historically this clamped to
+            # stride 1 silently; now it fails loudly (or warns).
+            if strict:
+                raise ValueError(
+                    f"{name} ({period_s} s) is faster than the grid step "
+                    f"({self.dt_s} s); refine the grid or sample at its cadence"
+                )
+            warnings.warn(
+                f"{name} ({period_s} s) is faster than the grid step "
+                f"({self.dt_s} s); clamping to one sample per step",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
         stride = int(round(ratio))
         if strict and abs(ratio - stride) > 1e-6 * max(ratio, 1.0):
             raise ValueError(
@@ -156,6 +180,15 @@ class Session:
         """Called once after the last step; the session's run result."""
         return None
 
+    def on_quarantine(self, time_s: float, record: "FailureRecord") -> None:
+        """Called once if a supervisor quarantines this session.
+
+        Subclasses whose output feeds other components override this to
+        hand those consumers a safe, mobility-oblivious default instead of
+        stale state (see :class:`repro.sim.SensingSession`).  The hook is
+        called from a guarded context: raising here cannot abort the run.
+        """
+
 
 class SessionError(RuntimeError):
     """A session failed mid-run; names the client, phase, and step time."""
@@ -182,16 +215,27 @@ class SimulationEngine:
     phases: Tuple[str, ...] = PHASES
 
     def __init__(
-        self, grid: "TimeGrid | np.ndarray", recorder: Recorder = NULL_RECORDER
+        self,
+        grid: "TimeGrid | np.ndarray",
+        recorder: Recorder = NULL_RECORDER,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         self.grid = grid if isinstance(grid, TimeGrid) else TimeGrid(grid)
         self.recorder = recorder
+        self.supervisor_config = supervisor if supervisor is not None else SupervisorConfig()
+        self._supervisor: Optional[Supervisor] = None
         self._sessions: List[Session] = []
         self._ran = False
 
     @property
     def sessions(self) -> Sequence[Session]:
         return tuple(self._sessions)
+
+    @property
+    def failures(self) -> Dict[str, FailureRecord]:
+        """Clients quarantined by the last run (empty before a run and
+        always empty under ``fail_fast``, which aborts instead)."""
+        return dict(self._supervisor.quarantined) if self._supervisor is not None else {}
 
     def add(self, session: Session) -> Session:
         if any(existing.client == session.client for existing in self._sessions):
@@ -207,8 +251,34 @@ class SimulationEngine:
         except Exception as exc:
             raise SessionError(session.client, phase, time_s, exc) from exc
 
+    @staticmethod
+    def _session_error(
+        session: Session, phase: str, time_s: float, exc: BaseException
+    ) -> SessionError:
+        """Wrap ``exc`` as a :class:`SessionError` naming *this* session.
+
+        A :class:`SessionError` escaping a nested engine keeps its inner
+        client name only when it already names this session; otherwise the
+        outer session is the failure domain the supervisor must track.
+        """
+        if isinstance(exc, SessionError) and exc.client == session.client:
+            return exc
+        error = SessionError(session.client, phase, time_s, exc)
+        # Chain explicitly: the error is built (not raised) here, so the
+        # supervisor can still reach the root cause via ``__cause__``.
+        error.__cause__ = exc
+        return error
+
     def run(self) -> Dict[str, Any]:
-        """Run every session over the whole grid; ``{client: finish()}``."""
+        """Run every session over the whole grid; ``{client: finish()}``.
+
+        Under the default ``fail_fast`` supervisor policy any session
+        failure propagates as :class:`SessionError` (after emitting a
+        terminal ``run_abort`` trace event).  Under ``isolate``/``retry``
+        the run always completes: quarantined clients map to their
+        :class:`repro.sim.FailureRecord` in the returned dict, and every
+        surviving client's result is bit-identical to a fault-free run.
+        """
         if not self._sessions:
             raise ValueError("no sessions registered; add() at least one")
         if self._ran:
@@ -216,7 +286,9 @@ class SimulationEngine:
             # would continue from the first run's state.
             raise RuntimeError("engine already ran; build a fresh engine and sessions")
         self._ran = True
-        recorder = self.recorder
+        # The shield guarantees a raising recorder can only lose telemetry,
+        # never abort the run: observability must only observe.
+        recorder = shield(self.recorder)
         live = recorder.enabled
         if live:
             for session in self._sessions:
@@ -229,6 +301,26 @@ class SimulationEngine:
                 n_sessions=len(self._sessions),
                 dt_s=self.grid.dt_s,
             )
+        supervisor = Supervisor(self.supervisor_config, recorder)
+        self._supervisor = supervisor
+        if self.supervisor_config.fail_fast:
+            try:
+                return self._run_fail_fast(recorder, live)
+            except SessionError as error:
+                if live:
+                    # Terminal marker: a trace must never just stop.
+                    recorder.event(
+                        "run_abort",
+                        error.time_s,
+                        client=error.client,
+                        phase=error.phase,
+                        step=self.grid.index_at(error.time_s),
+                    )
+                raise
+        return self._run_supervised(supervisor, recorder, live)
+
+    def _run_fail_fast(self, recorder: Recorder, live: bool) -> Dict[str, Any]:
+        """The historical strict loop: first failure aborts everything."""
         for session in self._sessions:
             self._guarded(session, "start", self.grid.start_s, lambda s=session: s.start(self.grid))
         for index in range(len(self.grid)):
@@ -251,6 +343,62 @@ class SimulationEngine:
             recorder.event("run_end", self.grid.end_s, n_steps=len(self.grid))
         return results
 
+    def _run_supervised(
+        self, supervisor: Supervisor, recorder: Recorder, live: bool
+    ) -> Dict[str, Any]:
+        """The contained loop: failing sessions retry or quarantine, the
+        rest run to completion with their phase schedule untouched."""
+        grid = self.grid
+        by_client = {session.client: session for session in self._sessions}
+        for session in self._sessions:
+            try:
+                session.start(grid)
+            except Exception as exc:
+                supervisor.on_failure(
+                    session, self._session_error(session, "start", grid.start_s, exc), step=0
+                )
+        for index in range(len(grid)):
+            clock = grid.clock(index)
+            supervisor.begin_step(clock, by_client, grid)
+            for phase in self.phases:
+                t0 = perf_counter() if live else 0.0
+                for session in self._sessions:
+                    if not supervisor.active(session.client):
+                        continue
+                    try:
+                        getattr(session, phase)(clock)
+                    except Exception as exc:
+                        supervisor.on_failure(
+                            session,
+                            self._session_error(session, phase, clock.start_s, exc),
+                            step=index,
+                        )
+                if live:
+                    recorder.phase_time(phase, index, clock.start_s, perf_counter() - t0)
+        results: Dict[str, Any] = {}
+        last_step = len(grid) - 1
+        for session in self._sessions:
+            record = supervisor.quarantined.get(session.client)
+            if record is not None:
+                results[session.client] = record
+                continue
+            try:
+                results[session.client] = session.finish()
+            except Exception as exc:
+                results[session.client] = supervisor.on_failure(
+                    session,
+                    self._session_error(session, "finish", grid.end_s, exc),
+                    step=last_step,
+                )
+        if live:
+            recorder.event(
+                "run_end",
+                grid.end_s,
+                n_steps=len(grid),
+                n_quarantined=supervisor.n_quarantined,
+            )
+        return results
+
     # ------------------------------------------------------------ multi-client
 
     @classmethod
@@ -262,6 +410,7 @@ class SimulationEngine:
         sample_interval_s: float = 0.1,
         include_h: bool = False,
         recorder: Recorder = NULL_RECORDER,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> "SimulationEngine":
         """Build an engine serving one session per client trajectory.
 
@@ -270,7 +419,11 @@ class SimulationEngine:
         to the scalar path only for a single client), then
         ``session_factory(client_index, trace)`` builds each session.
         A live ``recorder`` observes the channel evaluation too (batch
-        size and wall time surface as ``channel_batch`` events).
+        size and wall time surface as ``channel_batch`` events) — bound to
+        the channel only for the duration of the evaluation, so the
+        caller's channel comes back exactly as it went in.  ``supervisor``
+        selects the run's failure policy (see
+        :class:`repro.sim.SupervisorConfig`).
         """
         if len(trajectories) == 0:
             raise ValueError("need at least one client trajectory")
@@ -278,8 +431,6 @@ class SimulationEngine:
             raise ValueError(
                 f"{len(channel.links)} links cannot serve {len(trajectories)} clients"
             )
-        if recorder.enabled and not channel.recorder.enabled:
-            channel.recorder = recorder
         fine = TimeGrid(trajectories[0].times)
         stride = fine.stride_for(sample_interval_s, strict=False, name="sample_interval_s")
         times = trajectories[0].times[::stride]
@@ -288,11 +439,19 @@ class SimulationEngine:
             if len(trajectory.times) != len(trajectories[0].times):
                 raise ValueError("client trajectories must share the time grid")
             positions.append(trajectory.positions[::stride])
-        if len(trajectories) > 1:
-            traces = channel.evaluate_many(times, positions, include_h=include_h)
-        else:
-            traces = [channel.links[0].evaluate(times, positions[0], include_h=include_h)]
-        engine = cls(TimeGrid(times), recorder=recorder)
+        bind = recorder.enabled and not channel.recorder.enabled
+        original_recorder = channel.recorder
+        if bind:
+            channel.recorder = shield(recorder)
+        try:
+            if len(trajectories) > 1:
+                traces = channel.evaluate_many(times, positions, include_h=include_h)
+            else:
+                traces = [channel.links[0].evaluate(times, positions[0], include_h=include_h)]
+        finally:
+            if bind:
+                channel.recorder = original_recorder
+        engine = cls(TimeGrid(times), recorder=recorder, supervisor=supervisor)
         for index, trace in enumerate(traces):
             engine.add(session_factory(index, trace))
         return engine

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
+from repro.core.hints import safe_default_hint
 from repro.sim.engine import Session, StepClock, TimeGrid
 from repro.telemetry.recorder import Recorder
 
-if TYPE_CHECKING:  # import cycle guard: faults is a pure-util package
+if TYPE_CHECKING:  # import cycle guard: faults imports repro.sim
     from repro.faults import FaultPlan
+    from repro.sim.supervisor import FailureRecord
 
 
 class SensingSession(Session):
@@ -104,3 +106,17 @@ class SensingSession(Session):
 
     def finish(self) -> List[Any]:
         return self.estimates
+
+    def on_quarantine(self, time_s: float, record: "FailureRecord") -> None:
+        """Degrade safely: hand the live consumer a mobility-oblivious hint.
+
+        A quarantined sensing pipeline must not leave its consumer acting
+        on the last pre-failure estimate (a stale MACRO/AWAY hint keeps
+        biasing schedulers and roaming forever), so the ``on_estimate``
+        consumer receives one :func:`repro.core.hints.safe_default_hint`
+        at the quarantine instant.  Collected ``estimates`` are left
+        untouched — the run result for this client is the
+        :class:`repro.sim.FailureRecord`, not a doctored estimate stream.
+        """
+        if self._on_estimate is not None:
+            self._on_estimate(time_s, safe_default_hint(time_s))

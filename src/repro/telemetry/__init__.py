@@ -24,10 +24,12 @@ and the exporter formats.
 
 from repro.telemetry.export import (
     events_to_jsonl,
+    failures_to_json,
     format_counts,
     metrics_to_csv,
     render_run_summary,
     write_events_jsonl,
+    write_failure_report,
     write_metrics_csv,
 )
 from repro.telemetry.metrics import (
@@ -42,7 +44,9 @@ from repro.telemetry.recorder import (
     NULL_RECORDER,
     NullRecorder,
     Recorder,
+    ShieldedRecorder,
     TelemetryRecorder,
+    shield,
 )
 from repro.telemetry.tracer import TraceEvent, Tracer
 
@@ -56,14 +60,18 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "RunProfile",
+    "ShieldedRecorder",
     "TelemetryRecorder",
     "Timer",
     "TraceEvent",
     "Tracer",
     "events_to_jsonl",
+    "failures_to_json",
     "format_counts",
     "metrics_to_csv",
     "render_run_summary",
+    "shield",
     "write_events_jsonl",
+    "write_failure_report",
     "write_metrics_csv",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable, Mapping, Union
+from typing import Any, Iterable, Mapping, Union
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import TraceEvent, Tracer
@@ -44,6 +44,21 @@ def metrics_to_csv(registry: MetricsRegistry) -> str:
 def write_metrics_csv(registry: MetricsRegistry, path) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(metrics_to_csv(registry))
+
+
+def failures_to_json(failures: Mapping[str, Any]) -> str:
+    """Serialise ``{client: FailureRecord}`` as a stable JSON report.
+
+    The chaos-suite CI step uploads this as the failure-report artifact;
+    records are sorted by client so reports diff cleanly across runs.
+    """
+    records = [failures[client].to_dict() for client in sorted(failures)]
+    return json.dumps({"n_quarantined": len(records), "failures": records}, indent=2) + "\n"
+
+
+def write_failure_report(failures: Mapping[str, Any], path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(failures_to_json(failures))
 
 
 def format_counts(
@@ -121,6 +136,28 @@ def render_run_summary(recorder, title: str = "run summary") -> str:
         lines.append(format_counts(kind_counts, width=24))
         if tracer.n_dropped:
             lines.append(f"  ({tracer.n_dropped} older events dropped from the ring)")
+
+    if tracer is not None:
+        quarantines = tracer.of_kind("session_quarantined")
+        retries = tracer.of_kind("session_retry")
+        aborts = tracer.of_kind("run_abort")
+        if quarantines or retries or aborts:
+            lines.append("supervision:")
+            for event in quarantines:
+                retried = event.fields.get("retries", 0)
+                suffix = f" after {retried} retr{'y' if retried == 1 else 'ies'}" if retried else ""
+                lines.append(
+                    f"  {event.client} quarantined in {event.fields.get('phase')!r} at "
+                    f"t={event.time_s:.3f}s (step {event.step}): "
+                    f"{event.fields.get('exception')}: {event.fields.get('error')}{suffix}"
+                )
+            if retries:
+                lines.append(f"  {len(retries)} retry suspension(s) granted")
+            for event in aborts:
+                lines.append(
+                    f"  RUN ABORTED by {event.client} in {event.fields.get('phase')!r} at "
+                    f"t={event.time_s:.3f}s"
+                )
 
     metrics = recorder.metrics
     counters = {

@@ -78,6 +78,116 @@ class NullRecorder(Recorder):
 NULL_RECORDER = NullRecorder()
 
 
+class ShieldedRecorder(Recorder):
+    """Wraps a live recorder so observer exceptions never reach the run.
+
+    Observability must only observe: a recorder that raises (a broken
+    custom sink, a full disk behind an exporter, an injected
+    :class:`repro.faults.RecorderFault`) may lose telemetry but can never
+    abort the simulation.  The first error is kept (:attr:`first_error`),
+    every error is counted (:attr:`n_errors`), and after
+    :attr:`max_errors` the shield disables itself so a persistently
+    failing sink cannot tax the hot loop with exception handling forever.
+
+    The engine shields its recorder automatically at ``run()``;
+    :func:`shield` is idempotent and passes disabled recorders through
+    untouched.
+    """
+
+    def __init__(self, inner: Recorder, max_errors: int = 100) -> None:
+        if max_errors < 1:
+            raise ValueError(f"max_errors must be positive, got {max_errors}")
+        self.inner = inner
+        self.max_errors = max_errors
+        self.n_errors = 0
+        self.first_error: Optional[BaseException] = None
+        self.enabled = inner.enabled
+
+    def _note(self, exc: BaseException) -> None:
+        self.n_errors += 1
+        if self.first_error is None:
+            self.first_error = exc
+        if self.n_errors >= self.max_errors:
+            self.enabled = False
+
+    def count(self, name: str, value: float = 1.0, client: Optional[str] = None) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.count(name, value, client=client)
+        except Exception as exc:  # noqa: BLE001 - the whole point of the shield
+            self._note(exc)
+
+    def gauge(self, name: str, value: float, client: Optional[str] = None) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.gauge(name, value, client=client)
+        except Exception as exc:  # noqa: BLE001
+            self._note(exc)
+
+    def observe(self, name: str, value: float, client: Optional[str] = None) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.observe(name, value, client=client)
+        except Exception as exc:  # noqa: BLE001
+            self._note(exc)
+
+    def event(
+        self,
+        kind: str,
+        time_s: float,
+        client: Optional[str] = None,
+        step: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.event(kind, time_s, client=client, step=step, **fields)
+        except Exception as exc:  # noqa: BLE001
+            self._note(exc)
+
+    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.phase_time(phase, step, time_s, elapsed_s)
+        except Exception as exc:  # noqa: BLE001
+            self._note(exc)
+
+    def channel_eval(
+        self,
+        op: str,
+        batch_size: int,
+        n_samples: int,
+        elapsed_s: float,
+        time_s: float = 0.0,
+        batched: bool = False,
+    ) -> None:
+        if not self.enabled:
+            return
+        try:
+            self.inner.channel_eval(
+                op, batch_size, n_samples, elapsed_s, time_s=time_s, batched=batched
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._note(exc)
+
+
+def shield(recorder: Recorder, max_errors: int = 100) -> Recorder:
+    """Wrap ``recorder`` in a :class:`ShieldedRecorder` if it is live.
+
+    Disabled recorders (the shared :data:`NULL_RECORDER`) and recorders
+    that are already shielded pass through unchanged, so the disabled hot
+    path stays zero-overhead and shields never nest.
+    """
+    if not recorder.enabled or isinstance(recorder, ShieldedRecorder):
+        return recorder
+    return ShieldedRecorder(recorder, max_errors=max_errors)
+
+
 class TelemetryRecorder(Recorder):
     """A live recorder: metrics registry + event tracer + run profile.
 

@@ -5,7 +5,17 @@ import pytest
 
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
 from repro.core.tof_trend import ToFTrendConfig
-from repro.faults import DelayFault, DropFault, DuplicateFault, FaultPlan, NaNFault
+from repro.faults import (
+    ChannelEvalFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    InjectedFault,
+    NaNFault,
+    RecorderFault,
+    SessionCrashFault,
+)
 from repro.mobility.modes import MobilityMode
 from repro.sim import SensingSession, SimulationEngine, TimeGrid
 from repro.telemetry import TelemetryRecorder
@@ -244,3 +254,101 @@ class TestEndToEndDegradedRun:
         # tests/test_core_classifier.py::TestStretchedWindowBug.
         modes = self._macro_run(ToFTrendConfig())
         assert MobilityMode.MACRO in modes
+
+
+class TestSessionCrashFault:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="phase"):
+            SessionCrashFault(phase="teleport")
+        with pytest.raises(ValueError, match="at_step"):
+            SessionCrashFault(at_step=-1)
+        with pytest.raises(ValueError, match="n_crashes"):
+            SessionCrashFault(n_crashes=0)
+
+    def test_crash_window(self):
+        fault = SessionCrashFault(phase="adapt", at_step=5, n_crashes=3)
+        assert not fault.should_crash("adapt", 4)
+        assert all(fault.should_crash("adapt", s) for s in (5, 6, 7))
+        assert not fault.should_crash("adapt", 8)
+        assert not fault.should_crash("sense", 5)
+
+    def test_fire_raises_and_counts(self):
+        fault = SessionCrashFault(at_step=0)
+        with pytest.raises(InjectedFault, match="injected session crash"):
+            fault.fire()
+        assert fault.n_fired == 1
+
+    def test_seeded_arm_is_deterministic(self):
+        armed = []
+        for _ in range(5):
+            fault = SessionCrashFault(seed=7)
+            fault.arm(200)
+            armed.append(fault.at_step)
+        assert len(set(armed)) == 1
+        assert 0 <= armed[0] < 200
+
+    def test_arm_respects_pinned_step(self):
+        fault = SessionCrashFault(at_step=13, seed=7)
+        fault.arm(200)
+        assert fault.at_step == 13
+
+
+class TestChannelEvalFault:
+    def test_fires_on_scheduled_call_only(self):
+        fault = ChannelEvalFault(at_call=2)
+
+        class FakeChannel:
+            def evaluate(self):
+                return "ok"
+
+        wrapped = fault.wrap(FakeChannel())
+        assert wrapped.evaluate() == "ok"
+        assert wrapped.evaluate() == "ok"
+        with pytest.raises(InjectedFault):
+            wrapped.evaluate()
+        assert wrapped.evaluate() == "ok"  # one-shot
+        assert fault.n_fired == 1
+
+    def test_proxy_is_attribute_transparent(self):
+        class FakeChannel:
+            def __init__(self):
+                self.recorder = "original"
+
+            def evaluate(self):
+                return "ok"
+
+        inner = FakeChannel()
+        wrapped = ChannelEvalFault(at_call=99).wrap(inner)
+        wrapped.recorder = "replaced"
+        assert inner.recorder == "replaced"
+        assert wrapped.recorder == "replaced"
+
+
+class TestRecorderFault:
+    def test_rate_one_raises_on_targeted_hooks_only(self):
+        fault = RecorderFault(hooks=("count",))
+        recorder = fault.wrap(TelemetryRecorder())
+        with pytest.raises(InjectedFault, match=r"\(count\)"):
+            recorder.count("x")
+        recorder.gauge("y", 1.0)  # untargeted hook passes through
+        assert fault.n_fired == 1
+
+    def test_seeded_partial_rate_is_deterministic(self):
+        def fired(seed):
+            fault = RecorderFault(rate=0.5, seed=seed)
+            recorder = fault.wrap(TelemetryRecorder())
+            outcomes = []
+            for _ in range(50):
+                try:
+                    recorder.event("tick", 0.0)
+                    outcomes.append(False)
+                except InjectedFault:
+                    outcomes.append(True)
+            return outcomes
+
+        assert fired(11) == fired(11)
+        assert any(fired(11)) and not all(fired(11))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            RecorderFault(rate=1.2)

@@ -20,6 +20,11 @@ from repro.util.geometry import Point
 from repro.wlan.floorplan import default_office_floorplan
 from repro.wlan.multilink import MultiApChannel
 
+# These tests go through the deprecated 1.1 shim entry points on purpose
+# (pinning their behaviour); their DeprecationWarnings are expected here
+# while CI escalates unexpected ones to errors.
+pytestmark = pytest.mark.filterwarnings("ignore:simulate_:DeprecationWarning")
+
 
 class FakeContext(RoamingContext):
     """Scriptable context for scheme unit tests."""
