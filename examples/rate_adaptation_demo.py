@@ -17,8 +17,9 @@ from repro.rate.atheros import AtherosRateAdaptation
 from repro.rate.esnr import ESNRRate
 from repro.rate.mobility_aware import MobilityAwareAtherosRA
 from repro.rate.rapidsample import HintAwareRateControl
-from repro.rate.simulator import simulate_rate_control
+from repro.rate.simulator import RateControlSession
 from repro.rate.softrate import SoftRate
+from repro.sim import SimulationEngine, TimeGrid
 
 AP = Point(0.0, 0.0)
 START = Point(24.0, 6.0)
@@ -45,7 +46,9 @@ def main() -> None:
     ]
     print(f"\n{'scheme':<18}{'Mbps':>8}{'mean MCS':>10}{'frames':>8}")
     for name, adapter, scheme_hints in schemes:
-        result = simulate_rate_control(
+        # Engines are single-use: one fresh engine replays the identical
+        # trace grid per scheme.
+        session = RateControlSession(
             adapter,
             sensed.trace,
             transmitter=FrameTransmitter(seed=9),
@@ -53,6 +56,9 @@ def main() -> None:
             esnr_feedback_period_s=0.050,
             record_timeline=True,
         )
+        engine = SimulationEngine(TimeGrid(sensed.trace.times))
+        engine.add(session)
+        result = engine.run()[session.client]
         print(f"{name:<18}{result.throughput_mbps:>8.1f}{result.mean_mcs:>10.2f}"
               f"{result.n_frames:>8}")
 

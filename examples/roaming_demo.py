@@ -19,7 +19,8 @@ from repro.roaming.schemes import (
     SensorHintRoaming,
     StickToFirstAp,
 )
-from repro.roaming.simulator import simulate_roaming
+from repro.roaming.simulator import RoamingSession
+from repro.sim import SimulationEngine, TimeGrid
 from repro.wlan.floorplan import default_office_floorplan
 from repro.wlan.multilink import MultiApChannel
 
@@ -46,7 +47,12 @@ def main() -> None:
         SensorHintRoaming(),
         ControllerRoaming(),
     ):
-        result = simulate_roaming(multi, scheme, device_mobile_truth=device_mobile, seed=3)
+        # Engines are single-use: one fresh engine replays the identical
+        # walk per scheme.
+        session = RoamingSession(multi, scheme, device_mobile_truth=device_mobile, seed=3)
+        engine = SimulationEngine(TimeGrid(multi.times))
+        engine.add(session)
+        result = engine.run()[session.client]
         print(
             f"{scheme.name:<14}{result.mean_throughput_mbps:>10.1f}"
             f"{result.tcp_throughput_mbps():>10.1f}"

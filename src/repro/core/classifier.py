@@ -18,18 +18,15 @@ Fig. 5 flow chart prescribes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from repro.core.batched import BatchedMobilityClassifier
 from repro.core.hints import MobilityEstimate
-from repro.core.similarity import csi_similarity
-from repro.core.tof_trend import ToFTrendConfig, ToFTrendDetector
-from repro.mobility.modes import Heading, MobilityMode
+from repro.core.tof_trend import ToFTrend, ToFTrendConfig
 from repro.telemetry.recorder import NULL_RECORDER, Recorder
-from repro.util.filters import SlidingStatistics
 
 
 @dataclass(frozen=True)
@@ -62,8 +59,63 @@ class ClassifierConfig:
             raise ValueError("max CSI gap must be positive (or None to disable)")
 
 
+class _ScalarDetectorView:
+    """Client 0 of a batched ToF detector, exposed with the scalar API.
+
+    :class:`MobilityClassifier` is an N=1 view over the batched backend,
+    so its ``_tof_detector`` is no longer a standalone
+    :class:`repro.core.tof_trend.ToFTrendDetector` — this adapter keeps
+    the scalar read surface (``medians``, ``trend``, ``window_full``,
+    degradation counters) stable for callers and tests.
+    """
+
+    def __init__(self, batch: "BatchedMobilityClassifier") -> None:
+        self._detector = batch.detector
+
+    @property
+    def config(self) -> ToFTrendConfig:
+        return self._detector.config
+
+    @property
+    def trend(self) -> ToFTrend:
+        return self._detector.trend_of(0)
+
+    @property
+    def window_full(self) -> bool:
+        return bool(self._detector.count[0] == self._detector.config.window_periods)
+
+    @property
+    def medians(self) -> List[float]:
+        return self._detector.medians_of(0)
+
+    @property
+    def n_gaps(self) -> int:
+        return int(self._detector.n_gaps[0])
+
+    @property
+    def n_medians_discarded(self) -> int:
+        return int(self._detector.n_medians_discarded[0])
+
+    @property
+    def n_windows_invalidated(self) -> int:
+        return int(self._detector.n_windows_invalidated[0])
+
+    @property
+    def last_closed(self) -> list:
+        return self._detector.last_closed[0]
+
+    def reset(self) -> None:
+        self._detector.reset_rows(np.array([0]))
+
+
 class MobilityClassifier:
-    """Streaming implementation of the Fig. 5 classification design."""
+    """Streaming implementation of the Fig. 5 classification design.
+
+    A thin N=1 view over :class:`repro.core.batched.BatchedMobilityClassifier`
+    — the batched backend is the *only* implementation of the decision
+    logic, and this class just adapts one client's slice of it to the
+    historical scalar API (single sample in, single estimate out).
+    """
 
     #: Telemetry sink (bound by the owning session; shared no-op default)
     #: and the client label stamped on emitted verdict events.
@@ -72,30 +124,32 @@ class MobilityClassifier:
 
     def __init__(self, config: ClassifierConfig = ClassifierConfig()) -> None:
         self.config = config
-        self._previous_csi: Optional[np.ndarray] = None
-        self._last_csi_time: Optional[float] = None
-        self._similarity_stats = SlidingStatistics(config.similarity_smoothing_window)
-        self._tof_detector = ToFTrendDetector(config.tof)
-        self._tof_active = False
-        self._estimate: Optional[MobilityEstimate] = None
-        self._history: List[MobilityEstimate] = []
+        self._batch = BatchedMobilityClassifier([None], config, record_history=True)
+        self._tof_detector = _ScalarDetectorView(self._batch)
+
+    def _bind(self) -> "BatchedMobilityClassifier":
+        """Propagate the (assignable) recorder/label attributes downward."""
+        batch = self._batch
+        batch.recorder = self.recorder
+        batch.client_labels[0] = self.telemetry_client
+        return batch
 
     # ----------------------------------------------------------- properties
 
     @property
     def estimate(self) -> Optional[MobilityEstimate]:
         """Most recent decision (``None`` before the second CSI sample)."""
-        return self._estimate
+        return self._batch._estimates[0]
 
     @property
     def history(self) -> List[MobilityEstimate]:
         """All decisions made so far (one per CSI sample after the first)."""
-        return list(self._history)
+        return self._batch.history_of(0)
 
     @property
     def wants_tof(self) -> bool:
         """Whether the AP should currently be probing ToF (Fig. 5 gating)."""
-        return self._tof_active
+        return bool(self._batch._tof_active[0])
 
     # ---------------------------------------------------------------- inputs
 
@@ -108,43 +162,10 @@ class MobilityClassifier:
         wall-clock median aggregation and gap invalidation; the default
         count-based detector ignores it.
         """
-        if not self._tof_active:
+        if not self._batch._tof_active[0]:
             return
-        if not math.isfinite(tof_cycles):
-            # A corrupted reading would poison the whole period's median.
-            recorder = self.recorder
-            if recorder.enabled:
-                recorder.count("classifier.invalid_samples", client=self.telemetry_client)
-                recorder.event(
-                    "sensing_gap",
-                    time_s,
-                    client=self.telemetry_client,
-                    source="tof",
-                    reason="invalid_sample",
-                )
-            return
-        detector = self._tof_detector
-        detector.push(tof_cycles, time_s=time_s)
-        recorder = self.recorder
-        if recorder.enabled and detector.last_closed:
-            client = self.telemetry_client
-            for batch in detector.last_closed:
-                if batch.is_gap:
-                    recorder.count("classifier.tof_gaps", client=client)
-                    if batch.n_samples > 0:
-                        recorder.count("tof.medians_discarded", client=client)
-                    recorder.count("tof.windows_invalidated", client=client)
-                    recorder.event(
-                        "sensing_gap",
-                        time_s,
-                        client=client,
-                        source="tof",
-                        reason="sparse_period" if batch.n_samples else "empty_period",
-                        gap_start_s=batch.start_s,
-                        gap_s=batch.duration_s,
-                        n_samples=batch.n_samples,
-                    )
-            detector.last_closed = []
+        batch = self._bind()
+        batch._push_tof_one(0, time_s, tof_cycles, self.recorder.enabled)
 
     def push_csi(self, time_s: float, csi: np.ndarray) -> Optional[MobilityEstimate]:
         """Feed one CSI sample; returns the new decision (if one was made).
@@ -154,123 +175,8 @@ class MobilityClassifier:
         than the limit restarts the similarity stream instead of comparing
         across the gap — both surface as ``sensing_gap`` trace events.
         """
-        csi = np.asarray(csi)
-        recorder = self.recorder
-        if not np.all(np.isfinite(csi)):
-            if recorder.enabled:
-                recorder.count("classifier.invalid_samples", client=self.telemetry_client)
-                recorder.event(
-                    "sensing_gap",
-                    time_s,
-                    client=self.telemetry_client,
-                    source="csi",
-                    reason="invalid_sample",
-                )
-            return None
-        max_gap = self.config.max_csi_gap_s
-        if (
-            max_gap is not None
-            and self._last_csi_time is not None
-            and time_s - self._last_csi_time > max_gap
-        ):
-            # Samples this far apart are not "consecutive" in the Fig. 5
-            # sense; their similarity says nothing about mobility *now*.
-            if recorder.enabled:
-                recorder.count("classifier.csi_gaps", client=self.telemetry_client)
-                recorder.event(
-                    "sensing_gap",
-                    time_s,
-                    client=self.telemetry_client,
-                    source="csi",
-                    reason="sampling_gap",
-                    gap_s=time_s - self._last_csi_time,
-                )
-            self._previous_csi = None
-            self._similarity_stats.reset()
-        self._last_csi_time = time_s
-        if self._previous_csi is None:
-            self._previous_csi = csi
-            return None
-        similarity = csi_similarity(self._previous_csi, csi)
-        self._previous_csi = csi
-        self._similarity_stats.push(similarity)
-        smoothed = self._similarity_stats.mean()
-        previous = self._estimate
-        decision = self._decide(time_s, smoothed)
-        self._estimate = decision
-        self._history.append(decision)
-        if recorder.enabled:
-            client = self.telemetry_client
-            recorder.count("classifier.decisions", client=client)
-            recorder.count(f"classifier.mode.{decision.mode.value}", client=client)
-            recorder.event(
-                "classifier_verdict",
-                time_s,
-                client=client,
-                mode=decision.mode.value,
-                heading=decision.heading.value,
-                similarity=smoothed,
-                tof_window_full=decision.tof_window_full,
-            )
-            if previous is not None and previous.mode != decision.mode:
-                recorder.event(
-                    "hint_transition",
-                    time_s,
-                    client=client,
-                    from_mode=previous.mode.value,
-                    to_mode=decision.mode.value,
-                )
-        return decision
-
-    # ---------------------------------------------------------------- logic
-
-    def _decide(self, time_s: float, smoothed_similarity: float) -> MobilityEstimate:
-        cfg = self.config
-        if smoothed_similarity > cfg.threshold_static:
-            self._stop_tof()
-            return MobilityEstimate(
-                time_s=time_s,
-                mode=MobilityMode.STATIC,
-                csi_similarity=smoothed_similarity,
-            )
-        if smoothed_similarity > cfg.threshold_environmental:
-            self._stop_tof()
-            return MobilityEstimate(
-                time_s=time_s,
-                mode=MobilityMode.ENVIRONMENTAL,
-                csi_similarity=smoothed_similarity,
-            )
-        # Device mobility: consult (and if needed start) ToF measurement.
-        if not self._tof_active:
-            self._tof_active = True
-            self._tof_detector.reset()
-        trend = self._tof_detector.trend
-        heading = trend.heading
-        if heading == Heading.NONE:
-            return MobilityEstimate(
-                time_s=time_s,
-                mode=MobilityMode.MICRO,
-                csi_similarity=smoothed_similarity,
-                tof_window_full=self._tof_detector.window_full,
-            )
-        return MobilityEstimate(
-            time_s=time_s,
-            mode=MobilityMode.MACRO,
-            heading=heading,
-            csi_similarity=smoothed_similarity,
-            tof_window_full=True,
-        )
-
-    def _stop_tof(self) -> None:
-        if self._tof_active:
-            self._tof_active = False
-            self._tof_detector.reset()
+        return self._bind().push_csi(time_s, [csi])[0]
 
     def reset(self) -> None:
         """Forget everything (e.g. after the client roams to another AP)."""
-        self._previous_csi = None
-        self._last_csi_time = None
-        self._similarity_stats.reset()
-        self._stop_tof()
-        self._estimate = None
-        self._history.clear()
+        self._batch.reset()

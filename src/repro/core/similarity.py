@@ -39,6 +39,70 @@ def _pair_similarity(gains_a: np.ndarray, gains_b: np.ndarray) -> float:
     return float(np.sum(a * b) / denom)
 
 
+def validate_csi_shape(shape: Tuple[int, ...]) -> None:
+    """Reject CSI sample shapes Eq. 1 cannot score (see :func:`csi_similarity`)."""
+    if len(shape) == 2 and shape[1] == 0:
+        raise ValueError("2-D CSI needs at least one antenna-pair column")
+    if not 1 <= len(shape) <= 3:
+        raise ValueError(
+            f"CSI must be 1-D (K,), 2-D (K, n_pairs), or 3-D (K, n_tx, n_rx), got "
+            f"shape {shape}; reshape higher-rank input to (K, -1) so each "
+            f"column is one antenna pair's per-subcarrier gains"
+        )
+
+
+def prepare_csi_gains(csi: np.ndarray, validate: bool = True) -> np.ndarray:
+    """Normalise CSI samples to C-contiguous pair-major gain rows.
+
+    ``csi`` carries a leading batch axis over clients (or just over the
+    two samples of one comparison) followed by one sample shape — 1-D
+    ``(K,)``, 2-D ``(K, n_pairs)`` or 3-D ``(K, n_tx, n_rx)``.  The
+    sample axes are rearranged to ``(N, n_pairs, K)`` float64 with the
+    *subcarrier axis contiguous*,
+    which is the layout every similarity reduction in this module runs on:
+    reducing the last axis of a C-contiguous array is bit-identical to the
+    per-pair 1-D reductions of :func:`_pair_similarity`, while reducing a
+    transposed view is not (NumPy switches pairwise-summation strategy on
+    non-contiguous axes).
+
+    Validation runs once per call here — batched callers prepare a whole
+    ``(N, ...)`` slab in one shot instead of re-validating per client —
+    and real-valued float64 input skips the historical ``abs().astype``
+    copy (``np.abs`` already allocates the output).
+    """
+    if validate:
+        validate_csi_shape(csi.shape[1:])
+    gains = np.abs(csi)  # float64 and complex inputs come out float64 here
+    if gains.dtype != np.float64:
+        gains = gains.astype(float)
+    if gains.ndim == 2:  # (N, K)
+        return np.ascontiguousarray(gains[:, None, :])
+    if gains.ndim == 3:  # (N, K, n_pairs)
+        return np.ascontiguousarray(np.swapaxes(gains, 1, 2))
+    # (N, K, n_tx, n_rx) -> (N, n_tx * n_rx, K), pair order (t, r) matching
+    # the scalar double loop.
+    n, k, n_tx, n_rx = gains.shape
+    moved = np.moveaxis(gains, 1, 3)  # (N, n_tx, n_rx, K)
+    return np.ascontiguousarray(moved.reshape(n, n_tx * n_rx, k))
+
+
+def batched_pair_similarity(rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+    """Eq. 1 over C-contiguous ``(..., n_pairs, K)`` gain rows, vectorised.
+
+    Returns per-sample similarity ``(...,)`` — the per-pair correlations
+    averaged over the pair axis, bit-identical to looping
+    :func:`_pair_similarity` per pair and ``np.mean`` over the results
+    (both reduce contiguous last axes with the same pairwise summation).
+    """
+    a = rows_a - rows_a.mean(axis=-1, keepdims=True)
+    b = rows_b - rows_b.mean(axis=-1, keepdims=True)
+    denom = np.sqrt(np.sum(a * a, axis=-1)) * np.sqrt(np.sum(b * b, axis=-1))
+    num = np.sum(a * b, axis=-1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_pair = np.where(denom > 1e-15, num / denom, 1.0)
+    return per_pair.mean(axis=-1)
+
+
 def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
     """Similarity of two CSI samples (paper Eq. 1), in [-1, 1].
 
@@ -52,31 +116,9 @@ def csi_similarity(csi_a: np.ndarray, csi_b: np.ndarray) -> float:
     csi_b = np.asarray(csi_b)
     if csi_a.shape != csi_b.shape:
         raise ValueError(f"CSI shapes disagree: {csi_a.shape} vs {csi_b.shape}")
-    gains_a = np.abs(csi_a).astype(float)
-    gains_b = np.abs(csi_b).astype(float)
-    if gains_a.ndim == 1:
-        return _pair_similarity(gains_a, gains_b)
-    if gains_a.ndim == 2:
-        n_pairs = gains_a.shape[1]
-        if n_pairs == 0:
-            raise ValueError("2-D CSI needs at least one antenna-pair column")
-        values = [
-            _pair_similarity(gains_a[:, p], gains_b[:, p]) for p in range(n_pairs)
-        ]
-        return float(np.mean(values))
-    if gains_a.ndim == 3:
-        k, n_tx, n_rx = gains_a.shape
-        values = [
-            _pair_similarity(gains_a[:, t, r], gains_b[:, t, r])
-            for t in range(n_tx)
-            for r in range(n_rx)
-        ]
-        return float(np.mean(values))
-    raise ValueError(
-        f"CSI must be 1-D (K,), 2-D (K, n_pairs), or 3-D (K, n_tx, n_rx), got "
-        f"shape {gains_a.shape}; reshape higher-rank input to (K, -1) so each "
-        f"column is one antenna pair's per-subcarrier gains"
-    )
+    rows_a = prepare_csi_gains(csi_a[None, ...])
+    rows_b = prepare_csi_gains(csi_b[None, ...], validate=False)
+    return float(batched_pair_similarity(rows_a, rows_b)[0])
 
 
 def csi_similarity_stream(csi_samples: Iterable[np.ndarray]) -> Iterator[float]:

@@ -220,9 +220,11 @@ class _ChaosRecorder(Recorder):
         self.fault.check("event")
         self.inner.event(kind, time_s, client=client, step=step, **fields)
 
-    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+    def phase_time(
+        self, phase: str, step: int, time_s: float, elapsed_s: float, n_clients: int = 1
+    ) -> None:
         self.fault.check("phase_time")
-        self.inner.phase_time(phase, step, time_s, elapsed_s)
+        self.inner.phase_time(phase, step, time_s, elapsed_s, n_clients=n_clients)
 
     def channel_eval(
         self,

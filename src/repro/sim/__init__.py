@@ -22,12 +22,13 @@ from repro.sim.engine import (
     StepClock,
     TimeGrid,
 )
-from repro.sim.sessions import SensingSession
+from repro.sim.sessions import BatchedSensingSession, SensingSession
 from repro.sim.supervisor import POLICIES, FailureRecord, Supervisor, SupervisorConfig
 
 __all__ = [
     "PHASES",
     "POLICIES",
+    "BatchedSensingSession",
     "FailureRecord",
     "SensingSession",
     "Session",

@@ -142,12 +142,40 @@ class Session:
     Subclasses override the phases they need; unused phases default to
     no-ops so a transmit-only session stays three lines.  ``client`` names
     the session in results and error messages.
+
+    A session may also simulate a whole *cohort* of clients in one set of
+    batched phase calls (see :class:`repro.sim.BatchedSensingSession`):
+    it then reports every member label via :attr:`clients`, sets
+    :attr:`is_cohort` so ``run()`` merges its per-member ``finish()``
+    mapping into the results, and receives the per-member supervision
+    hooks (:meth:`on_quarantine`, :meth:`on_suspend`, :meth:`on_resume`)
+    so isolate/retry/quarantine still operate per client — a masked
+    member is frozen out of the batch, not removed from it.
     """
 
     client: str = "client"
 
+    #: Whether ``finish()`` returns a ``{member: result}`` mapping that the
+    #: engine merges into the run results (instead of one result under
+    #: :attr:`client`).
+    is_cohort: bool = False
+
     #: Telemetry sink; the shared no-op recorder unless bound to a live one.
     recorder: Recorder = NULL_RECORDER
+
+    @property
+    def clients(self) -> Tuple[str, ...]:
+        """Every client label this session simulates (cohorts override)."""
+        return (self.client,)
+
+    @property
+    def n_active_clients(self) -> int:
+        """Members currently participating in the session's phase calls.
+
+        Cohorts exclude quarantined/suspended members; the engine sums
+        this across sessions to attribute phase wall time per client.
+        """
+        return 1
 
     def bind_recorder(self, recorder: Recorder) -> None:
         """Attach a telemetry recorder (called by the engine at ``add``).
@@ -163,6 +191,18 @@ class Session:
 
     def start(self, grid: TimeGrid) -> None:
         """Called once before the first step."""
+
+    def on_suspend(self, client: str, time_s: float, resume_s: float) -> None:
+        """Called when a supervisor suspends cohort member ``client``.
+
+        Scalar sessions never see this (the engine simply skips their
+        phase calls while suspended); cohorts mask the member out of
+        their batched phases until :meth:`on_resume`.  Guarded like
+        :meth:`on_quarantine`: raising here cannot abort the run.
+        """
+
+    def on_resume(self, client: str, time_s: float) -> None:
+        """Called when a suspended cohort member's backoff expires."""
 
     def sense(self, clock: StepClock) -> None:
         """Ingest observables (CSI, ToF, RSSI) up to ``clock.start_s``."""
@@ -238,8 +278,11 @@ class SimulationEngine:
         return dict(self._supervisor.quarantined) if self._supervisor is not None else {}
 
     def add(self, session: Session) -> Session:
-        if any(existing.client == session.client for existing in self._sessions):
-            raise ValueError(f"duplicate session name {session.client!r}")
+        new_labels = {session.client, *session.clients}
+        for existing in self._sessions:
+            taken = new_labels & {existing.client, *existing.clients}
+            if taken:
+                raise ValueError(f"duplicate session name {sorted(taken)[0]!r}")
         self._sessions.append(session)
         return session
 
@@ -258,10 +301,14 @@ class SimulationEngine:
         """Wrap ``exc`` as a :class:`SessionError` naming *this* session.
 
         A :class:`SessionError` escaping a nested engine keeps its inner
-        client name only when it already names this session; otherwise the
-        outer session is the failure domain the supervisor must track.
+        client name only when it already names this session (or one of a
+        cohort session's members — the failure domain the supervisor must
+        track is then that single member, not the whole cohort); otherwise
+        the outer session is the failure domain.
         """
-        if isinstance(exc, SessionError) and exc.client == session.client:
+        if isinstance(exc, SessionError) and (
+            exc.client == session.client or exc.client in session.clients
+        ):
             return exc
         error = SessionError(session.client, phase, time_s, exc)
         # Chain explicitly: the error is built (not raised) here, so the
@@ -319,10 +366,24 @@ class SimulationEngine:
                 raise
         return self._run_supervised(supervisor, recorder, live)
 
+    @staticmethod
+    def _collect_result(results: Dict[str, Any], session: Session, value: Any) -> None:
+        """File one session's ``finish()`` value under its client label(s).
+
+        Cohort sessions return a ``{member: result}`` mapping which merges
+        flat into the run results, so batched and per-session runs produce
+        the same result shape.
+        """
+        if session.is_cohort and isinstance(value, dict):
+            results.update(value)
+        else:
+            results[session.client] = value
+
     def _run_fail_fast(self, recorder: Recorder, live: bool) -> Dict[str, Any]:
         """The historical strict loop: first failure aborts everything."""
         for session in self._sessions:
             self._guarded(session, "start", self.grid.start_s, lambda s=session: s.start(self.grid))
+        n_clients = sum(s.n_active_clients for s in self._sessions) if live else 0
         for index in range(len(self.grid)):
             clock = self.grid.clock(index)
             for phase in self.phases:
@@ -332,13 +393,15 @@ class SimulationEngine:
                         session, phase, clock.start_s, lambda s=session, p=phase: getattr(s, p)(clock)
                     )
                 if live:
-                    recorder.phase_time(phase, index, clock.start_s, perf_counter() - t0)
-        results = {
-            session.client: self._guarded(
+                    recorder.phase_time(
+                        phase, index, clock.start_s, perf_counter() - t0, n_clients=n_clients
+                    )
+        results: Dict[str, Any] = {}
+        for session in self._sessions:
+            value = self._guarded(
                 session, "finish", self.grid.end_s, lambda s=session: s.finish()
             )
-            for session in self._sessions
-        }
+            self._collect_result(results, session, value)
         if live:
             recorder.event("run_end", self.grid.end_s, n_steps=len(self.grid))
         return results
@@ -349,7 +412,11 @@ class SimulationEngine:
         """The contained loop: failing sessions retry or quarantine, the
         rest run to completion with their phase schedule untouched."""
         grid = self.grid
-        by_client = {session.client: session for session in self._sessions}
+        by_client: Dict[str, Session] = {}
+        for session in self._sessions:
+            by_client[session.client] = session
+            for member in session.clients:
+                by_client.setdefault(member, session)
         for session in self._sessions:
             try:
                 session.start(grid)
@@ -360,6 +427,15 @@ class SimulationEngine:
         for index in range(len(grid)):
             clock = grid.clock(index)
             supervisor.begin_step(clock, by_client, grid)
+            n_clients = (
+                sum(
+                    s.n_active_clients
+                    for s in self._sessions
+                    if supervisor.active(s.client)
+                )
+                if live
+                else 0
+            )
             for phase in self.phases:
                 t0 = perf_counter() if live else 0.0
                 for session in self._sessions:
@@ -374,7 +450,9 @@ class SimulationEngine:
                             step=index,
                         )
                 if live:
-                    recorder.phase_time(phase, index, clock.start_s, perf_counter() - t0)
+                    recorder.phase_time(
+                        phase, index, clock.start_s, perf_counter() - t0, n_clients=n_clients
+                    )
         results: Dict[str, Any] = {}
         last_step = len(grid) - 1
         for session in self._sessions:
@@ -383,7 +461,7 @@ class SimulationEngine:
                 results[session.client] = record
                 continue
             try:
-                results[session.client] = session.finish()
+                self._collect_result(results, session, session.finish())
             except Exception as exc:
                 results[session.client] = supervisor.on_failure(
                     session,

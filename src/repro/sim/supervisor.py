@@ -179,6 +179,13 @@ class Supervisor:
                 self.recorder.event(
                     "session_resumed", clock.start_s, client=client, step=clock.index
                 )
+            session = sessions.get(client)
+            if session is not None:
+                try:
+                    session.on_resume(client, clock.start_s)
+                except Exception:  # noqa: BLE001 - degradation must only degrade
+                    if self.recorder.enabled:
+                        self.recorder.count("supervisor.degrade_errors", client=client)
             if client in self._needs_start:
                 self._needs_start.discard(client)
                 session = sessions[client]
@@ -238,6 +245,11 @@ class Supervisor:
                     attempt=count,
                     resume_s=resume_s,
                 )
+            try:
+                session.on_suspend(client, error.time_s, resume_s)
+            except Exception:  # noqa: BLE001 - degradation must only degrade
+                if live:
+                    self.recorder.count("supervisor.degrade_errors", client=client)
             return None
         return self.quarantine(session, error, step=step, retries=count - 1)
 

@@ -116,9 +116,17 @@ def render_run_summary(recorder, title: str = "run summary") -> str:
         for phase, elapsed in profile.phase_s.items():
             share = 100.0 * elapsed / total if total > 0 else 0.0
             steps = profile.phase_measurements.get(phase, 0)
-            lines.append(
+            line = (
                 f"  {phase:<10} {_format_seconds(elapsed):>10}  ({share:5.1f}%  over {steps} steps)"
             )
+            client_steps = profile.phase_client_steps.get(phase, 0)
+            if client_steps > steps:
+                # Batched cohort phases: attribute the shared cost per client.
+                line += (
+                    f"  [{client_steps} client-steps, "
+                    f"{_format_seconds(profile.per_client_phase_s(phase))}/client-step]"
+                )
+            lines.append(line)
         lines.append(f"  {'total':<10} {_format_seconds(total):>10}")
 
     if profile.channel_s:

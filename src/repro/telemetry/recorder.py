@@ -53,9 +53,12 @@ class Recorder:
     ) -> None:
         """Emit one structured trace event."""
 
-    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+    def phase_time(
+        self, phase: str, step: int, time_s: float, elapsed_s: float, n_clients: int = 1
+    ) -> None:
         """One engine phase of step ``step`` (simulation time ``time_s``)
-        took ``elapsed_s`` of wall time across all sessions."""
+        took ``elapsed_s`` of wall time across all sessions, serving
+        ``n_clients`` clients (cohort sessions count every member)."""
 
     def channel_eval(
         self,
@@ -149,11 +152,13 @@ class ShieldedRecorder(Recorder):
         except Exception as exc:  # noqa: BLE001
             self._note(exc)
 
-    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
+    def phase_time(
+        self, phase: str, step: int, time_s: float, elapsed_s: float, n_clients: int = 1
+    ) -> None:
         if not self.enabled:
             return
         try:
-            self.inner.phase_time(phase, step, time_s, elapsed_s)
+            self.inner.phase_time(phase, step, time_s, elapsed_s, n_clients=n_clients)
         except Exception as exc:  # noqa: BLE001
             self._note(exc)
 
@@ -235,10 +240,14 @@ class TelemetryRecorder(Recorder):
 
     # -------------------------------------------------------------- profiling
 
-    def phase_time(self, phase: str, step: int, time_s: float, elapsed_s: float) -> None:
-        self.profile.add_phase(phase, elapsed_s)
+    def phase_time(
+        self, phase: str, step: int, time_s: float, elapsed_s: float, n_clients: int = 1
+    ) -> None:
+        self.profile.add_phase(phase, elapsed_s, n_clients=n_clients)
         self.metrics.observe("phase.elapsed_s", elapsed_s)
-        self.tracer.emit("phase", time_s, step=step, phase=phase, elapsed_s=elapsed_s)
+        self.tracer.emit(
+            "phase", time_s, step=step, phase=phase, elapsed_s=elapsed_s, n_clients=n_clients
+        )
         self.metrics.count("events.phase")
 
     def channel_eval(
