@@ -1,0 +1,265 @@
+"""The project-invariant checker: file walking, suppressions, reporting.
+
+:mod:`repro.analysis` is an AST linter for *this* codebase's hard-won
+invariants — seeded-RNG discipline, the wall-clock ban in simulation
+code, the telemetry-name registry, no swallowed failures, unit-suffix
+naming.  Each rule is a named ``REPxxx`` check grounded in a real past
+bug (see ``docs/static-analysis.md`` for the catalog and the history).
+
+Suppressions are deliberate and audited::
+
+    started = perf_counter()  # repro: noqa-REP002 CLI elapsed report, outside any run
+
+The justification after the code is **required** — a bare
+``# repro: noqa-REP002`` does not suppress and is itself reported
+(REP000), as is a suppression that no longer suppresses anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Directory names never walked: caches, VCS metadata, and the linter's
+#: own violation corpus (``tests/analysis_fixtures/`` exists to *fail*).
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".pytest_cache", "analysis_fixtures"}
+)
+
+#: Engine-level code for suppression hygiene problems.
+SUPPRESSION_CODE = "REP000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa-(REP\d{3})\b[ \t]*(.*)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa-REPxxx <reason>`` comment."""
+
+    line: int
+    code: str
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+
+def infer_context(path: str) -> str:
+    """Which tree a file belongs to: ``src``/``tests``/``benchmarks``/``examples``.
+
+    Rules scope themselves by tree — the wall-clock ban applies to
+    simulation code and the examples that drive it, not to tests that
+    legitimately measure wall time.  Unknown locations are held to the
+    strictest standard (``src``).
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    for part in parts:
+        if part in ("tests", "benchmarks", "examples"):
+            return part
+    return "src"
+
+
+def parse_suppressions(source: str, path: str = "<string>") -> List[Suppression]:
+    """Extract every ``repro: noqa`` comment with its line and reason.
+
+    Tokenizes so that only real ``#`` comments count — a docstring that
+    *talks about* the noqa syntax is not a suppression.
+    """
+    import io
+
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match:
+                suppressions.append(
+                    Suppression(
+                        line=token.start[0],
+                        code=match.group(1),
+                        reason=match.group(2).strip(),
+                    )
+                )
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse catches these first
+        return suppressions
+    return suppressions
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS and not d.startswith("."))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)
+
+
+def check_source(
+    source: str,
+    path: str,
+    *,
+    context: Optional[str] = None,
+    rules: Optional[Sequence["Rule"]] = None,
+) -> List[Diagnostic]:
+    """Run every applicable rule over one file's source text.
+
+    ``context`` overrides tree inference (the fixture tests exercise
+    src-only rules on files that live under ``tests/``).  Suppression
+    handling happens here: justified suppressions drop their diagnostic,
+    unjustified or unused ones surface as :data:`SUPPRESSION_CODE`.
+    """
+    from repro.analysis.rules import ALL_RULES
+
+    active_rules = list(ALL_RULES if rules is None else rules)
+    file_context = context if context is not None else infer_context(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        return [Diagnostic(path, lineno, exc.offset or 0, SUPPRESSION_CODE, f"syntax error: {exc.msg}")]
+
+    raw: List[Diagnostic] = []
+    known_codes = {rule.code for rule in active_rules}
+    for rule in active_rules:
+        if file_context in rule.contexts and not rule.exempts(path):
+            raw.extend(rule.check(tree, source, path))
+
+    suppressions = parse_suppressions(source, path)
+    by_line: Dict[Tuple[int, str], Suppression] = {(s.line, s.code): s for s in suppressions}
+
+    kept: List[Diagnostic] = []
+    for diag in sorted(raw, key=lambda d: (d.line, d.col, d.code)):
+        suppression = by_line.get((diag.line, diag.code))
+        if suppression is None:
+            kept.append(diag)
+            continue
+        suppression.used = True
+        if not suppression.reason:
+            kept.append(diag)
+            kept.append(
+                Diagnostic(
+                    path,
+                    suppression.line,
+                    0,
+                    SUPPRESSION_CODE,
+                    f"suppression of {diag.code} requires a written justification "
+                    f"(# repro: noqa-{diag.code} <why this is safe>)",
+                )
+            )
+        # A justified suppression silences the diagnostic.
+
+    for suppression in suppressions:
+        if suppression.code not in known_codes and suppression.code != SUPPRESSION_CODE:
+            kept.append(
+                Diagnostic(
+                    path,
+                    suppression.line,
+                    0,
+                    SUPPRESSION_CODE,
+                    f"suppression names unknown rule {suppression.code}",
+                )
+            )
+        elif not suppression.used:
+            kept.append(
+                Diagnostic(
+                    path,
+                    suppression.line,
+                    0,
+                    SUPPRESSION_CODE,
+                    f"unused suppression: no {suppression.code} diagnostic on this line "
+                    "(fix is in — delete the noqa)",
+                )
+            )
+    return sorted(kept, key=lambda d: (d.line, d.col, d.code))
+
+
+def check_file(
+    path: str,
+    *,
+    context: Optional[str] = None,
+    rules: Optional[Sequence["Rule"]] = None,
+) -> List[Diagnostic]:
+    """Run the checker over one file on disk."""
+    with tokenize.open(path) as fh:  # honors PEP 263 encoding declarations
+        source = fh.read()
+    return check_source(source, path, context=context, rules=rules)
+
+
+def check_paths(
+    paths: Sequence[str],
+    *,
+    context: Optional[str] = None,
+    rules: Optional[Sequence["Rule"]] = None,
+) -> List[Diagnostic]:
+    """Run the checker over every Python file under ``paths``."""
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(check_file(path, context=context, rules=rules))
+    return diagnostics
+
+
+class Rule:
+    """Base class: one named invariant.
+
+    Subclasses set :attr:`code`, :attr:`title`, :attr:`rationale`, and
+    :attr:`contexts`, and implement :meth:`check`.  ``exempts`` lets a
+    rule skip the module that legitimately owns the banned construct
+    (``repro/util/rng.py`` for REP001, ``repro/telemetry`` for the
+    guarded stopwatch in REP002).
+    """
+
+    code: str = "REP999"
+    title: str = ""
+    rationale: str = ""
+    #: Trees the rule applies to (see :func:`infer_context`).
+    contexts: frozenset = frozenset({"src", "tests", "benchmarks", "examples"})
+    #: Path suffixes (``/``-normalized) exempt from this rule.
+    exempt_suffixes: Tuple[str, ...] = ()
+
+    def exempts(self, path: str) -> bool:
+        normalized = os.path.normpath(path).replace(os.sep, "/")
+        return any(normalized.endswith(suffix) for suffix in self.exempt_suffixes)
+
+    def check(self, tree: ast.AST, source: str, path: str) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, path: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.code,
+            message,
+        )
+
+
+def build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child → parent links for guard-context queries (REP002)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents

@@ -1,0 +1,222 @@
+"""The mypy strictness ratchet: per-package error budgets that only shrink.
+
+``mypy_baseline.json`` (repo root) records the allowed mypy error count
+for every package under ``repro``.  The CI gate runs::
+
+    python -m repro.analysis.ratchet --check
+
+which fails if
+
+* any package's error count **rises** above its baseline (a type
+  regression), or
+* any package's count **drops** below its baseline without the baseline
+  being lowered (a stale baseline — ratchets must only tighten, and a
+  slack budget lets the next regression hide inside it), or
+* a strict-listed package (:data:`STRICT_PACKAGES`) has a nonzero
+  baseline or any errors at all.
+
+After genuinely improving types, tighten the ratchet with::
+
+    python -m repro.analysis.ratchet --update
+
+which rewrites the baseline at the new (lower) counts.  Raising a
+baseline by hand is a code-review smell by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Packages held at zero errors under the stricter per-package mypy
+#: flags (see ``[tool.mypy]`` overrides in pyproject.toml).
+STRICT_PACKAGES: Tuple[str, ...] = ("repro.util", "repro.telemetry", "repro.core")
+
+#: Default baseline location, resolved relative to the repo root / cwd.
+DEFAULT_BASELINE = "mypy_baseline.json"
+
+_ERROR_LINE = re.compile(r"^(?P<path>[^:\n]+\.py):\d+(?::\d+)?: error:")
+
+
+def package_of(path: str, src_root: str = "src") -> str:
+    """Map ``src/repro/channel/model.py`` → ``repro.channel``.
+
+    Top-level modules (``src/repro/testing.py``) attribute to ``repro``.
+    """
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    parts = normalized.split("/")
+    if src_root in parts:
+        parts = parts[parts.index(src_root) + 1 :]
+    if not parts or parts[0] != "repro":
+        return "<external>"
+    if len(parts) <= 2:  # repro/<module>.py
+        return "repro"
+    return f"repro.{parts[1]}"
+
+
+def parse_mypy_output(output: str) -> Dict[str, int]:
+    """Per-package error counts from mypy's normal-form output."""
+    counts: Dict[str, int] = {}
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line.strip())
+        if match:
+            package = package_of(match.group("path"))
+            counts[package] = counts.get(package, 0) + 1
+    return counts
+
+
+def run_mypy(targets: Sequence[str] = ("src/repro",)) -> Tuple[Dict[str, int], str]:
+    """Run mypy over ``targets``; return (per-package counts, raw output).
+
+    Raises :class:`RuntimeError` if mypy is not importable — callers
+    (the pytest wrapper) turn that into a skip, CI installs mypy.
+    """
+    try:
+        import mypy  # noqa: F401 - availability probe only
+    except ImportError as exc:
+        raise RuntimeError("mypy is not installed in this environment") from exc
+    process = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", *targets],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if process.returncode not in (0, 1):  # 2 = usage/config error
+        raise RuntimeError(
+            f"mypy failed to run (exit {process.returncode}):\n{process.stdout}{process.stderr}"
+        )
+    return parse_mypy_output(process.stdout), process.stdout
+
+
+def load_baseline(path: str = DEFAULT_BASELINE) -> Dict[str, int]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    errors = data.get("errors", {})
+    if not isinstance(errors, dict):
+        raise ValueError(f"{path}: 'errors' must map package -> count")
+    return {str(pkg): int(count) for pkg, count in errors.items()}
+
+
+def write_baseline(counts: Dict[str, int], path: str = DEFAULT_BASELINE) -> None:
+    payload = {
+        "_comment": (
+            "Per-package mypy error budgets. Lower with "
+            "`python -m repro.analysis.ratchet --update` after improving types; "
+            "never raise by hand. Strict packages must stay at zero."
+        ),
+        "strict": list(STRICT_PACKAGES),
+        "errors": {pkg: counts[pkg] for pkg in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def compare(
+    actual: Dict[str, int], baseline: Dict[str, int]
+) -> Tuple[List[str], List[str], List[str]]:
+    """(regressions, stale entries, strict violations), each human-readable."""
+    regressions: List[str] = []
+    stale: List[str] = []
+    strict_violations: List[str] = []
+    packages = sorted(set(actual) | set(baseline))
+    for package in packages:
+        have = actual.get(package, 0)
+        allowed = baseline.get(package, 0)
+        if have > allowed:
+            regressions.append(
+                f"{package}: {have} mypy errors > baseline {allowed} — fix the new "
+                "errors (do not raise the baseline)"
+            )
+        elif have < allowed:
+            stale.append(
+                f"{package}: {have} mypy errors < baseline {allowed} — baseline is "
+                "stale; run `python -m repro.analysis.ratchet --update` to tighten"
+            )
+    for package in STRICT_PACKAGES:
+        if baseline.get(package, 0) != 0:
+            strict_violations.append(
+                f"{package}: strict-listed package must have a zero baseline, "
+                f"found {baseline[package]}"
+            )
+        if actual.get(package, 0) != 0:
+            strict_violations.append(
+                f"{package}: strict-listed package has {actual[package]} mypy errors"
+            )
+    return regressions, stale, strict_violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.ratchet",
+        description="Gate mypy error counts against the checked-in baseline.",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON path"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline at current counts (only ever run after improving types)",
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="explicit gate mode (the default)"
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["src/repro"], help="mypy targets"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    try:
+        actual, raw = run_mypy(args.targets)
+    except RuntimeError as exc:
+        print(f"ratchet: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {pkg: count for pkg, count in actual.items() if count}
+        for package in STRICT_PACKAGES:
+            if actual.get(package, 0):
+                print(
+                    f"ratchet: refusing to bake {actual[package]} errors into "
+                    f"strict package {package} — fix them instead",
+                    file=sys.stderr,
+                )
+                print(raw, file=sys.stderr)
+                return 1
+        write_baseline(baseline, args.baseline)
+        total = sum(baseline.values())
+        print(f"ratchet: baseline updated ({total} allowed errors across {len(baseline)} packages)")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"ratchet: no baseline at {args.baseline}; create one with --update",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions, stale, strict_violations = compare(actual, baseline)
+    for message in [*strict_violations, *regressions, *stale]:
+        print(f"ratchet: {message}", file=sys.stderr)
+    if regressions or strict_violations:
+        print(raw, file=sys.stderr)
+    if regressions or stale or strict_violations:
+        return 1
+    total = sum(actual.values())
+    print(
+        f"ratchet: ok — {total} mypy errors, all within baseline; "
+        f"strict packages ({', '.join(STRICT_PACKAGES)}) clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

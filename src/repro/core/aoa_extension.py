@@ -28,7 +28,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.tof_trend import detect_trend, ToFTrend
+from repro.core.tof_trend import ToFTrendDetector, detect_trend, ToFTrend
+from repro.mobility.modes import Heading
 from repro.util.filters import MovingWindow
 from repro.util.rng import SeedLike, ensure_rng
 
@@ -151,7 +152,11 @@ class AoAAugmentedDetector:
     (tangential walking, heading unknown).
     """
 
-    def __init__(self, tof_detector, aoa_detector: Optional[AoATrendDetector] = None) -> None:
+    def __init__(
+        self,
+        tof_detector: ToFTrendDetector,
+        aoa_detector: Optional[AoATrendDetector] = None,
+    ) -> None:
         self.tof = tof_detector
         self.aoa = aoa_detector or AoATrendDetector()
 
@@ -160,7 +165,7 @@ class AoAAugmentedDetector:
         return self.tof.trend != ToFTrend.NONE or self.aoa.sweeping
 
     @property
-    def heading(self):
+    def heading(self) -> Heading:
         return self.tof.heading  # AoA sweeps carry no towards/away heading
 
     def push_tof(self, reading_cycles: float) -> None:

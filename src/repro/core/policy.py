@@ -18,7 +18,7 @@ Each reconstructed value is a named field, so re-tuning is one edit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, ItemsView, Tuple
 
 from repro.mobility.modes import Heading, MobilityMode
 
@@ -87,7 +87,7 @@ class PolicyTable:
             return self._entries[(mode, heading)]
         return self._entries[(mode, Heading.NONE)]
 
-    def items(self):
+    def items(self) -> ItemsView[PolicyKey, MobilityPolicy]:
         return self._entries.items()
 
 

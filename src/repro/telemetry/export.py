@@ -12,10 +12,17 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Iterable, Mapping, Union
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Union
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import TraceEvent, Tracer
+
+if TYPE_CHECKING:  # recorder imports the exporters lazily; avoid the cycle
+    from repro.telemetry.recorder import TelemetryRecorder
+
+#: Anything ``open()`` accepts as a destination.
+PathLike = Union[str, "os.PathLike[str]"]
 
 #: CSV column order of the metrics dump.
 METRICS_CSV_HEADER = ("metric", "name", "client", "field", "value")
@@ -26,7 +33,7 @@ def events_to_jsonl(events: Union[Tracer, Iterable[TraceEvent]]) -> str:
     return "".join(json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events)
 
 
-def write_events_jsonl(events: Union[Tracer, Iterable[TraceEvent]], path) -> None:
+def write_events_jsonl(events: Union[Tracer, Iterable[TraceEvent]], path: PathLike) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(events_to_jsonl(events))
 
@@ -41,7 +48,7 @@ def metrics_to_csv(registry: MetricsRegistry) -> str:
     return buffer.getvalue()
 
 
-def write_metrics_csv(registry: MetricsRegistry, path) -> None:
+def write_metrics_csv(registry: MetricsRegistry, path: PathLike) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(metrics_to_csv(registry))
 
@@ -56,7 +63,7 @@ def failures_to_json(failures: Mapping[str, Any]) -> str:
     return json.dumps({"n_quarantined": len(records), "failures": records}, indent=2) + "\n"
 
 
-def write_failure_report(failures: Mapping[str, Any], path) -> None:
+def write_failure_report(failures: Mapping[str, Any], path: PathLike) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(failures_to_json(failures))
 
@@ -99,7 +106,7 @@ def _format_seconds(value: float) -> str:
     return f"{value * 1e6:.0f}us"
 
 
-def render_run_summary(recorder, title: str = "run summary") -> str:
+def render_run_summary(recorder: "TelemetryRecorder", title: str = "run summary") -> str:
     """Human-readable report of one :class:`TelemetryRecorder`'s run.
 
     Sections: the wall-time phase profile, channel evaluation cost,

@@ -9,7 +9,7 @@ dependencies, and nothing here ever touches simulation RNG state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 import numpy as np
 
@@ -117,6 +117,13 @@ class HistogramMetric:
                 yield (*base, f"bucket{self.bucket_label(index)}", float(count))
 
 
+#: Any metric instance the registry can hold.
+Metric = Union["CounterMetric", "GaugeMetric", "HistogramMetric"]
+
+#: The concrete metric type an accessor creates/returns.
+_M = TypeVar("_M", "CounterMetric", "GaugeMetric", "HistogramMetric")
+
+
 class MetricsRegistry:
     """All metrics of one run, keyed by ``(name, client)``.
 
@@ -125,12 +132,12 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[Tuple[str, Optional[str]], object] = {}
+        self._metrics: Dict[Tuple[str, Optional[str]], Metric] = {}
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def _get(self, kind: type, name: str, client: Optional[str], *args):
+    def _get(self, kind: Type[_M], name: str, client: Optional[str], *args: Any) -> _M:
         key = (name, client)
         metric = self._metrics.get(key)
         if metric is None:
@@ -169,7 +176,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------- inspection
 
-    def metrics(self) -> List[object]:
+    def metrics(self) -> List[Metric]:
         """All metrics, sorted by (name, client) for stable exports."""
         return [self._metrics[key] for key in sorted(self._metrics, key=lambda k: (k[0], k[1] or ""))]
 

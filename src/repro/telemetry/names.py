@@ -1,0 +1,257 @@
+"""The single registry of telemetry names.
+
+Every counter, gauge, histogram, and trace-event kind the library emits
+is declared here, once, with a one-line meaning.  The registry is what
+keeps three things from drifting apart:
+
+* the emission sites (``recorder.count("supervisor.failures")`` …),
+  checked statically by rule REP003 in :mod:`repro.analysis` and at
+  runtime by ``tests/test_telemetry_names.py``;
+* the schema tables in ``docs/observability.md``, generated from this
+  module (``python -m repro.telemetry.names --write docs/observability.md``);
+* downstream consumers of the JSONL/CSV exports, who can treat these
+  names as a stable contract.
+
+Names with a per-emission dynamic component (event-kind counters, per-op
+channel counters, fault statistics) are declared as *patterns* where
+``*`` matches exactly one dot-free segment — ``channel.*.calls`` matches
+``channel.csi.calls`` but not ``channel.a.b.calls``.
+
+Adding a metric or event therefore means: declare it here (with its
+meaning), emit it, and regenerate the docs table.  A literal name that
+does not resolve to the registry fails ``repro-lint`` and the telemetry
+test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Registry entry kinds, in docs-table order.
+KINDS: Tuple[str, ...] = ("counter", "gauge", "histogram", "event")
+
+
+@dataclass(frozen=True)
+class TelemetryName:
+    """One registered name (or ``*``-pattern) with its meaning."""
+
+    kind: str  # "counter" | "gauge" | "histogram" | "event"
+    name: str  # exact name, or a pattern with ``*`` segments
+    meaning: str
+
+    @property
+    def is_pattern(self) -> bool:
+        return "*" in self.name
+
+    def matches(self, candidate: str) -> bool:
+        """True if ``candidate`` is this exact name or matches the pattern."""
+        if not self.is_pattern:
+            return candidate == self.name
+        return _pattern_regex(self.name).fullmatch(candidate) is not None
+
+
+def _pattern_regex(pattern: str) -> "re.Pattern[str]":
+    parts = [re.escape(p) if p != "*" else r"[^.]+" for p in pattern.split(".")]
+    return re.compile(r"\.".join(parts))
+
+
+_C = "counter"
+_G = "gauge"
+_H = "histogram"
+_E = "event"
+
+#: Every telemetry name the library emits.  Keep sorted within each kind.
+REGISTRY: Tuple[TelemetryName, ...] = (
+    # ------------------------------------------------------------- counters
+    TelemetryName(_C, "channel.*.calls", "channel evaluations per kernel op"),
+    TelemetryName(_C, "classifier.csi_gaps", "CSI similarity streams restarted across a sampling gap"),
+    TelemetryName(_C, "classifier.decisions", "batched classifier decision passes"),
+    TelemetryName(_C, "classifier.invalid_samples", "non-finite ToF/CSI samples discarded"),
+    TelemetryName(_C, "classifier.mode.*", "verdicts per mobility mode (static/environmental/micro/macro)"),
+    TelemetryName(_C, "classifier.tof_gaps", "ToF median periods degraded (sparse or empty)"),
+    TelemetryName(_C, "events.*", "trace events emitted, per kind"),
+    TelemetryName(_C, "faults.*.*.*", "injected-fault statistics: faults.<stream>.<kind>.<stat>"),
+    TelemetryName(_C, "feedback_refreshes", "CSI feedback refreshes performed by the stack session"),
+    TelemetryName(_C, "handoffs", "AP handoffs performed (per client)"),
+    TelemetryName(_C, "rate.frames", "frames transmitted by the rate-control session"),
+    TelemetryName(_C, "rate.hints", "mobility hints applied by rate control"),
+    TelemetryName(_C, "scans", "full AP scans performed (per client)"),
+    TelemetryName(_C, "scheduler.hints", "mobility hints applied by the scheduler"),
+    TelemetryName(_C, "scheduler.slots", "transmission slots granted (per client)"),
+    TelemetryName(_C, "sensing.csi_missing", "engine steps with no CSI observation for a client"),
+    TelemetryName(_C, "supervisor.degrade_errors", "on_quarantine hooks that themselves raised (absorbed)"),
+    TelemetryName(_C, "supervisor.failures", "session failures observed, before any retry/quarantine decision"),
+    TelemetryName(_C, "supervisor.quarantined", "sessions quarantined this run"),
+    TelemetryName(_C, "supervisor.retries", "retry suspensions granted"),
+    TelemetryName(_C, "tof.medians_discarded", "ToF medians dropped with their degraded period"),
+    TelemetryName(_C, "tof.windows_invalidated", "ToF trend windows invalidated by a gap marker"),
+    # --------------------------------------------------------------- gauges
+    TelemetryName(_G, "rate.throughput_mbps", "most recent rate-control throughput"),
+    TelemetryName(_G, "roaming.handoffs", "final handoff count of a roaming run"),
+    TelemetryName(_G, "roaming.mean_goodput_mbps", "mean goodput of a roaming run"),
+    TelemetryName(_G, "roaming.scans", "final scan count of a roaming run"),
+    TelemetryName(_G, "scheduler.client_mbps", "per-client goodput at the end of a scheduler run"),
+    TelemetryName(_G, "stack.feedbacks", "final feedback-refresh count of a full-stack run"),
+    TelemetryName(_G, "stack.handoffs", "final handoff count of a full-stack run"),
+    TelemetryName(_G, "stack.mean_goodput_mbps", "mean goodput of a full-stack run"),
+    TelemetryName(_G, "stack.scans", "final scan count of a full-stack run"),
+    # ----------------------------------------------------------- histograms
+    TelemetryName(_H, "channel.elapsed_s", "wall time of one channel evaluation"),
+    TelemetryName(_H, "phase.elapsed_s", "wall time of one engine phase of one step"),
+    TelemetryName(_H, "rate.frame_airtime_s", "airtime of one rate-control frame"),
+    TelemetryName(_H, "scheduler.frame_airtime_s", "airtime of one scheduled frame"),
+    # --------------------------------------------------------------- events
+    TelemetryName(_E, "adaptation", "a session applied a decision (handoff/scan/hint_applied)"),
+    TelemetryName(_E, "channel_batch", "one batched MultiLinkChannel.evaluate_many call"),
+    TelemetryName(_E, "channel_eval", "one scalar LinkChannel evaluation"),
+    TelemetryName(_E, "classifier_verdict", "one classifier decision (mode/heading/similarity)"),
+    TelemetryName(_E, "hint_transition", "classifier mode changed between consecutive verdicts"),
+    TelemetryName(_E, "phase", "one engine phase of one step (wall time, client count)"),
+    TelemetryName(_E, "run_abort", "terminal marker before a SessionError propagates (fail_fast)"),
+    TelemetryName(_E, "run_end", "engine run completed"),
+    TelemetryName(_E, "run_start", "engine run began (step/session counts)"),
+    TelemetryName(_E, "sensing_gap", "classifier input degraded (gap / invalid sample)"),
+    TelemetryName(_E, "session_failed", "supervisor observed a session failure"),
+    TelemetryName(_E, "session_quarantined", "supervisor quarantined a session"),
+    TelemetryName(_E, "session_resumed", "suspended session re-entered the loop"),
+    TelemetryName(_E, "session_retry", "supervisor granted a retry suspension"),
+)
+
+
+def entries(kind: Optional[str] = None) -> List[TelemetryName]:
+    """Registry entries, optionally filtered to one ``kind``."""
+    if kind is None:
+        return list(REGISTRY)
+    if kind not in KINDS:
+        raise ValueError(f"unknown telemetry kind {kind!r}; expected one of {KINDS}")
+    return [entry for entry in REGISTRY if entry.kind == kind]
+
+
+def is_registered(name: str, kind: Optional[str] = None) -> bool:
+    """True if ``name`` resolves to a registered name or pattern.
+
+    ``kind`` narrows the lookup; metric kinds are interchangeable at the
+    call site (``count``/``gauge``/``observe`` share a namespace in the
+    registry check) while event kinds are separate.
+    """
+    for entry in entries(kind):
+        if entry.matches(name):
+            return True
+    return False
+
+
+def match_prefix(literal_prefix: str, kind: Optional[str] = None) -> bool:
+    """True if some registered name could start with ``literal_prefix``.
+
+    Used by the static checker for f-string names, where only the
+    leading literal part is known (``f"classifier.mode.{mode}"`` →
+    prefix ``classifier.mode.``).  Only the *complete* dot-separated
+    segments of the prefix are compared; a registered pattern's ``*``
+    segment matches anything.
+    """
+    segments = literal_prefix.split(".")[:-1]  # drop the trailing partial segment
+    if not segments:
+        return True  # nothing literal to check against
+    for entry in entries(kind):
+        entry_segments = entry.name.split(".")
+        if len(entry_segments) < len(segments):
+            continue
+        if all(pat in ("*", seg) for pat, seg in zip(entry_segments, segments)):
+            return True
+    return False
+
+
+# --------------------------------------------------------------- docs sync
+
+#: Markers bracketing the generated block in docs/observability.md.
+DOCS_BEGIN = "<!-- telemetry-names:begin (generated by python -m repro.telemetry.names) -->"
+DOCS_END = "<!-- telemetry-names:end -->"
+
+_KIND_TITLES: Dict[str, str] = {
+    "counter": "Counters",
+    "gauge": "Gauges",
+    "histogram": "Histograms",
+    "event": "Event kinds",
+}
+
+
+def render_registry_table() -> str:
+    """The generated markdown block for ``docs/observability.md``."""
+    lines: List[str] = [DOCS_BEGIN]
+    for kind in KINDS:
+        lines.append("")
+        lines.append(f"### {_KIND_TITLES[kind]}")
+        lines.append("")
+        lines.append("| name | meaning |")
+        lines.append("|------|---------|")
+        for entry in entries(kind):
+            lines.append(f"| `{entry.name}` | {entry.meaning} |")
+    lines.append("")
+    lines.append(DOCS_END)
+    return "\n".join(lines)
+
+
+def sync_docs(text: str) -> str:
+    """Return ``text`` with the generated block replaced (or appended)."""
+    block = render_registry_table()
+    begin = text.find(DOCS_BEGIN)
+    end = text.find(DOCS_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise ValueError(
+            "docs file has no telemetry-names markers; add the "
+            f"{DOCS_BEGIN!r} / {DOCS_END!r} pair where the table belongs"
+        )
+    return text[:begin] + block + text[end + len(DOCS_END):]
+
+
+def docs_in_sync(text: str) -> bool:
+    """True if ``text`` already contains the current generated block."""
+    return render_registry_table() in text
+
+
+def _main(argv: Optional[Iterable[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.names",
+        description="Print or sync the generated telemetry-name registry table.",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="DOCS_FILE",
+        help="rewrite the generated block in DOCS_FILE (docs/observability.md)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="DOCS_FILE",
+        help="exit 1 if DOCS_FILE's generated block is stale",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.write:
+        with open(args.write, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        updated = sync_docs(text)
+        with open(args.write, "w", encoding="utf-8") as fh:
+            fh.write(updated)
+        print(f"synced telemetry registry table in {args.write}")
+        return 0
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if docs_in_sync(text):
+            print(f"{args.check}: telemetry registry table up to date")
+            return 0
+        print(
+            f"{args.check}: telemetry registry table is stale; run "
+            f"python -m repro.telemetry.names --write {args.check}"
+        )
+        return 1
+    print(render_registry_table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -23,8 +23,9 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.elapsed_s += time.perf_counter() - self._start
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed_s += time.perf_counter() - self._start
         self._start = None
 
 

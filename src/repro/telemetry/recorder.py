@@ -12,9 +12,12 @@ with recording on or off.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.telemetry.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.telemetry.export import PathLike
 from repro.telemetry.profiler import RunProfile
 from repro.telemetry.tracer import TraceEvent, Tracer
 
@@ -284,12 +287,12 @@ class TelemetryRecorder(Recorder):
 
         return render_run_summary(self, title=title)
 
-    def write_events_jsonl(self, path) -> None:
+    def write_events_jsonl(self, path: "PathLike") -> None:
         from repro.telemetry.export import write_events_jsonl
 
         write_events_jsonl(self.tracer, path)
 
-    def write_metrics_csv(self, path) -> None:
+    def write_metrics_csv(self, path: "PathLike") -> None:
         from repro.telemetry.export import write_metrics_csv
 
         write_metrics_csv(self.metrics, path)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -118,7 +118,7 @@ class MovingWindow:
     def __len__(self) -> int:
         return len(self._items)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         return iter(self._items)
 
 

@@ -7,7 +7,11 @@ uses to model channel staleness within an aggregated frame.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
+
+ArrayOrFloat = Union[float, np.ndarray]
 
 # Abramowitz & Stegun 9.4.1 / 9.4.3 polynomial approximations (|err| < 1e-7).
 _SMALL = (
@@ -23,7 +27,7 @@ _F0 = (0.79788456, -0.00000077, -0.00552740, -0.00009512, 0.00137237, -0.0007280
 _THETA0 = (-0.78539816, -0.04166397, -0.00003954, 0.00262573, -0.00054125, -0.00029333, 0.00013558)
 
 
-def bessel_j0(x):
+def bessel_j0(x: ArrayOrFloat) -> ArrayOrFloat:
     """Bessel function of the first kind, order zero.  Vectorised."""
     x = np.abs(np.asarray(x, dtype=float))
     scalar = x.ndim == 0
@@ -55,7 +59,7 @@ def bessel_j0(x):
     return result
 
 
-def jakes_correlation(doppler_hz, delta_t_s):
+def jakes_correlation(doppler_hz: ArrayOrFloat, delta_t_s: ArrayOrFloat) -> np.ndarray:
     """Temporal autocorrelation of a Jakes-spectrum fading channel.
 
     ``rho = J0(2*pi*fD*dt)``, clipped to [0, 1]: the MAC error model uses it

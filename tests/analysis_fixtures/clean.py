@@ -1,0 +1,27 @@
+"""A file every rule passes under the strictest (src) context."""
+
+import numpy as np
+
+
+def simulate(duration_s: float, dt_s: float, seed=None):
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    n_steps = int(duration_s / dt_s)
+    return rng.normal(size=n_steps)
+
+
+def observe_run(recorder, now_s: float) -> None:
+    recorder.event("run_start", now_s)
+    recorder.count("scans")
+
+
+def guarded_profile(recorder, work) -> float:
+    from time import perf_counter
+
+    live = recorder.enabled
+    start = perf_counter() if live else 0.0
+    work()
+    if live:
+        elapsed_s = perf_counter() - start
+        recorder.observe("phase.elapsed_s", elapsed_s)
+        return elapsed_s
+    return 0.0

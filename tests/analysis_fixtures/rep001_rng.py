@@ -1,0 +1,52 @@
+"""REP001 fixture: every way the seeded-RNG discipline can break."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_unseeded():
+    rng = np.random.default_rng()  # expect: REP001
+    return rng.normal()
+
+
+def draw_unseeded_from_import():
+    rng = default_rng()  # expect: REP001
+    return rng.normal()
+
+
+def legacy_global_state():
+    return np.random.normal(0.0, 1.0)  # expect: REP001
+
+
+def stdlib_module_call():
+    return random.random()  # expect: REP001
+
+
+def ignores_seed(trace, seed=None):  # expect: REP001
+    return [sample * 2.0 for sample in trace]
+
+
+def ignores_rng_param(samples, rng=None):  # expect: REP001
+    return sum(samples)
+
+
+def seeded_ok(seed=None):
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    return rng.normal()
+
+
+def deleted_seed_ok(position, seed=None):
+    del seed  # deterministic output; signature kept uniform
+    return position
+
+
+def _private_helper(seed=None):
+    # Leading-underscore helpers may ignore seed (callers own the contract).
+    return 0.0
+
+
+def abstract_like(seed=None):
+    """Signature-only bodies are the contract, not a bug."""
+    raise NotImplementedError

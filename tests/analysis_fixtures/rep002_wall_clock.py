@@ -1,0 +1,47 @@
+"""REP002 fixture: wall-clock reads and unguarded stopwatches."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamps_wall_clock():
+    return time.time()  # expect: REP002
+
+
+def stamps_wall_clock_ns():
+    return time.time_ns()  # expect: REP002
+
+
+def stamps_datetime():
+    return datetime.now()  # expect: REP002
+
+
+def unguarded_stopwatch():
+    started = perf_counter()  # expect: REP002
+    return perf_counter() - started  # expect: REP002
+
+
+def unguarded_monotonic():
+    return time.monotonic()  # expect: REP002
+
+
+def guarded_stopwatch_ok(recorder):
+    live = recorder.enabled
+    start = perf_counter() if live else 0.0
+    if live:
+        elapsed_s = perf_counter() - start
+        recorder.observe("phase.elapsed_s", elapsed_s)
+
+
+def guarded_attribute_ok(recorder):
+    if recorder.enabled:
+        return perf_counter()
+    return 0.0
+
+
+def else_branch_is_not_guarded(recorder):
+    if recorder.enabled:
+        return 0.0
+    else:
+        return perf_counter()  # expect: REP002

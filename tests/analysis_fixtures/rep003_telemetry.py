@@ -1,0 +1,26 @@
+"""REP003 fixture: telemetry names that miss the registry."""
+
+
+def emits_unregistered_counter(recorder):
+    recorder.count("handofs")  # expect: REP003
+
+
+def emits_unregistered_event(recorder, now_s):
+    recorder.event("run_strat", now_s)  # expect: REP003
+
+
+def emits_unregistered_fstring(recorder, op):
+    recorder.count(f"chanel.{op}.calls")  # expect: REP003
+
+
+def emits_registered_ok(recorder, now_s, op):
+    recorder.count("handoffs")
+    recorder.count("classifier.mode.static")
+    recorder.event("run_start", now_s)
+    recorder.count(f"channel.{op}.calls")
+
+
+def non_telemetry_receiver_ok(ledger):
+    # `count` on something that is not a recorder/metrics/tracer/registry
+    # receiver is out of scope for the rule.
+    ledger.count("arbitrary.key")

@@ -1,0 +1,38 @@
+"""REP004 fixture: silently swallowed failures."""
+
+
+def bare_except(session):
+    try:
+        session.step()
+    except:  # expect: REP004
+        pass
+
+
+def broad_and_silent(session):
+    try:
+        session.step()
+    except Exception:  # expect: REP004
+        pass
+
+
+def broad_tuple_and_silent(session):
+    try:
+        session.step()
+    except (ValueError, Exception):  # expect: REP004
+        ...
+
+
+def broad_but_counted_ok(session, recorder):
+    try:
+        session.step()
+    except Exception:
+        recorder.count("supervisor.degrade_errors")
+
+
+def narrow_and_silent_ok(mapping, key):
+    # Narrow types may pass silently; the rule targets broad absorption.
+    try:
+        return mapping[key]
+    except KeyError:
+        pass
+    return None

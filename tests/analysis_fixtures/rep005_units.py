@@ -1,0 +1,30 @@
+"""REP005 fixture: time/frequency parameters missing unit suffixes."""
+
+
+def waits(timeout: float) -> None:  # expect: REP005
+    del timeout
+
+
+def tunes(center_freq: float = 2.412) -> None:  # expect: REP005
+    del center_freq
+
+
+def backs_off(*, retry_backoff=1.5) -> None:  # expect: REP005
+    del retry_backoff
+
+
+def waits_ok(timeout_s: float) -> None:
+    del timeout_s
+
+
+def tunes_ok(center_freq_ghz: float = 2.412) -> None:
+    del center_freq_ghz
+
+
+def counts_ok(interval: int) -> None:
+    # Non-float quantities are out of scope (an int `interval` count).
+    del interval
+
+
+def _private_ok(timeout: float) -> None:
+    del timeout

@@ -1,0 +1,23 @@
+"""Suppression-hygiene fixture (goldens live in test_analysis.py).
+
+Line numbers matter here: test_analysis.py asserts on them, so append
+new cases at the end rather than inserting.
+"""
+
+import time
+
+
+def justified_suppression_ok():
+    return time.time()  # repro: noqa-REP002 fixture: justified suppression silences the finding
+
+
+def missing_justification():
+    return time.time()  # repro: noqa-REP002
+
+
+def unused_suppression():
+    return 1.0  # repro: noqa-REP002 nothing here reads any clock
+
+
+def unknown_rule_code():
+    return 2.0  # repro: noqa-REP998 no such rule exists
