@@ -1,0 +1,142 @@
+"""Controller scaling benchmark and the roaming-storm acceptance gate.
+
+Two things live here:
+
+* a clients×APs sweep timing one full storm replay per combination —
+  per-epoch controller latency feeds ``BENCH_controller.json`` at the
+  repo root (uploaded as a CI artifact);
+* the acceptance gate for the mobility-hint policy: under the seeded
+  roaming storm (200 clients × 8 APs) it must issue fewer handovers and
+  fewer ping-pongs than the strongest-AP baseline while keeping mean
+  goodput no worse.
+
+Wall-clock use is fine here — ``benchmarks/`` is exempt from the
+REP002 sim-time-only rule.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.controller import HysteresisPolicy, MobilityHintPolicy, StrongestApPolicy
+from repro.experiments import ext_controller
+from repro.wlan.floorplan import grid_floorplan
+
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_controller.json"
+#: (n_clients, (floorplan nx, ny)) sweep combinations.
+_SWEEP = ((50, (4, 2)), (200, (4, 2)), (200, (4, 4)), (400, (4, 4)))
+_SWEEP_DURATION_S = 30.0
+_STORM_SEED = 42
+#: Acceptance-gate scenario (matches ISSUE acceptance: >=8 APs, >=200 clients).
+_GATE_CLIENTS = 200
+_GATE_DURATION_S = 60.0
+
+_sweep_results = {}
+_gate_results = {}
+
+
+@pytest.fixture(scope="module")
+def storms():
+    cache = {}
+
+    def build(n_clients, shape, duration_s):
+        key = (n_clients, shape, duration_s)
+        if key not in cache:
+            nx, ny = shape
+            cache[key] = ext_controller.build_storm(
+                n_clients,
+                floorplan=grid_floorplan(nx=nx, ny=ny),
+                duration_s=duration_s,
+                seed=_STORM_SEED,
+            )
+        return cache[key]
+
+    return build
+
+
+def _maybe_write_json():
+    if not all(key in _sweep_results for key in _SWEEP):
+        return
+    payload = {
+        "benchmark": "controller_roaming_storm",
+        "seed": _STORM_SEED,
+        "sweep_duration_s": _SWEEP_DURATION_S,
+        "sweep": [_sweep_results[key] for key in _SWEEP],
+    }
+    if _gate_results:
+        payload["policy_comparison"] = _gate_results
+    BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("n_clients,shape", list(_SWEEP))
+def test_perf_controller_storm_sweep(benchmark, storms, n_clients, shape):
+    """One full storm replay (sense → hint → policy epoch) per timing round.
+
+    The recorded per-epoch latency is the whole controller path for the
+    fleet — observe, window update, policy decide, bookkeeping — which is
+    the number an operator sizing a controller box cares about.
+    """
+    inputs = storms(n_clients, shape, _SWEEP_DURATION_S)
+    result = benchmark(ext_controller.run_storm, inputs, MobilityHintPolicy())
+    n_epochs = len(result.epoch_times)
+    assert n_epochs > 0
+
+    entry = {
+        "n_clients": n_clients,
+        "n_aps": inputs.n_aps,
+        "n_epochs": n_epochs,
+        "handovers": result.totals["handovers"],
+    }
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None:
+        entry["run_min_s"] = float(stats.min)
+        entry["rounds"] = int(stats.rounds)
+        entry["epoch_latency_ms"] = float(stats.min / n_epochs * 1e3)
+    _sweep_results[(n_clients, shape)] = entry
+    _maybe_write_json()
+
+
+def test_controller_storm_acceptance_gate(storms):
+    """Mobility hints must beat the greedy baseline under the storm.
+
+    Fewer handovers, fewer ping-pongs, goodput no worse — the ISSUE's
+    acceptance criterion, asserted over the seeded 200-client × 8-AP
+    scenario and published into ``BENCH_controller.json``.
+    """
+    inputs = storms(_GATE_CLIENTS, (4, 2), _GATE_DURATION_S)
+    results = ext_controller.compare_policies(
+        inputs,
+        policies=(StrongestApPolicy(), HysteresisPolicy(), MobilityHintPolicy()),
+    )
+    strongest = results["strongest"]
+    hinted = results["mobility-hint"]
+
+    for name, result in results.items():
+        _gate_results[name] = {
+            "handovers": result.totals["handovers"],
+            "pingpong": result.totals["pingpong"],
+            "suppressed": result.totals["suppressed"],
+            "mean_attainable_mbps": result.mean_attainable_mbps,
+            "mean_goodput_mbps": result.mean_goodput_mbps,
+        }
+    _gate_results["scenario"] = {
+        "n_clients": inputs.n_clients,
+        "n_aps": inputs.n_aps,
+        "duration_s": inputs.duration_s,
+        "seed": _STORM_SEED,
+    }
+    _maybe_write_json()
+
+    assert hinted.totals["handovers"] < strongest.totals["handovers"], (
+        f"hint policy should roam less: {hinted.totals['handovers']} vs "
+        f"{strongest.totals['handovers']} handovers"
+    )
+    assert hinted.totals["pingpong"] < strongest.totals["pingpong"], (
+        f"hint policy should ping-pong less: {hinted.totals['pingpong']} vs "
+        f"{strongest.totals['pingpong']}"
+    )
+    assert hinted.mean_goodput_mbps >= strongest.mean_goodput_mbps, (
+        f"hint policy gave up goodput: {hinted.mean_goodput_mbps:.3f} vs "
+        f"{strongest.mean_goodput_mbps:.3f} Mbps"
+    )

@@ -35,7 +35,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Packages held at zero errors under the stricter per-package mypy
 #: flags (see ``[tool.mypy]`` overrides in pyproject.toml).
-STRICT_PACKAGES: Tuple[str, ...] = ("repro.util", "repro.telemetry", "repro.core")
+STRICT_PACKAGES: Tuple[str, ...] = (
+    "repro.util",
+    "repro.telemetry",
+    "repro.core",
+    "repro.controller",
+)
 
 #: Default baseline location, resolved relative to the repo root / cwd.
 DEFAULT_BASELINE = "mypy_baseline.json"

@@ -1,0 +1,61 @@
+"""repro.controller — mobility-hint-driven multi-AP handover control.
+
+The paper's hints evaluated where an enterprise WLAN actually acts on
+them: a controller owning the association map for hundreds of clients
+over many APs.  Per-(client, AP) link state lives in sliding windows
+(:mod:`repro.controller.stats`, shaped after the empower-runtime
+mobility managers), candidate APs are ranked by aquamet-style attainable
+throughput (:mod:`repro.controller.aquamet`), and each control epoch a
+pluggable :class:`HandoverPolicy` (:mod:`repro.controller.policy`)
+proposes a target AP per client — the mobility-hint-aware policy
+consumes :class:`repro.core.hints.MobilityEstimate` to suppress
+ping-pong roams for MACRO-mobile clients, pre-emptively steer clients
+heading AWAY, and ignore provisional (``tof_window_full=False``) hints.
+
+A dead AP is a failure domain, not a crash: :meth:`Controller.mark_ap_down`
+quarantines it with a :class:`repro.sim.supervisor.FailureRecord` and
+mass-reassociates its clients, mirroring the supervisor's ``isolate``
+policy.  :class:`ControllerSession` runs the whole thing inside the
+simulation engine's phase loop; the seeded roaming-storm scenarios live
+in :mod:`repro.experiments.ext_controller`.
+
+See ``docs/architecture.md`` ("Controller layer") and the
+``controller.*`` names in ``docs/observability.md``.
+"""
+
+from repro.controller.aquamet import GoodputTable, ap_load, attainable_throughput_mbps
+from repro.controller.controller import Controller, ControllerConfig, EpochReport
+from repro.controller.policy import (
+    HandoverPolicy,
+    HysteresisPolicy,
+    MobilityHintPolicy,
+    PolicyDecision,
+    PolicyInputs,
+    StrongestApPolicy,
+)
+from repro.controller.session import (
+    ApFailureEvent,
+    ControllerRunResult,
+    ControllerSession,
+)
+from repro.controller.stats import LinkStatsBook, MatrixWindow
+
+__all__ = [
+    "ApFailureEvent",
+    "Controller",
+    "ControllerConfig",
+    "ControllerRunResult",
+    "ControllerSession",
+    "EpochReport",
+    "GoodputTable",
+    "HandoverPolicy",
+    "HysteresisPolicy",
+    "LinkStatsBook",
+    "MatrixWindow",
+    "MobilityHintPolicy",
+    "PolicyDecision",
+    "PolicyInputs",
+    "StrongestApPolicy",
+    "ap_load",
+    "attainable_throughput_mbps",
+]

@@ -1,0 +1,76 @@
+"""Aquamet-style attainable-throughput estimation for the controller.
+
+The empower-runtime aquamet manager ranks candidate APs by the throughput
+a client could *attain* there, combining the link's expected PHY rate
+with its delivery ratio and the AP's load.  Our PHY truth source is
+:meth:`repro.phy.error.ErrorModel.expected_goodput_mbps`, which loops the
+whole MCS table per call — far too slow for hundreds of clients times
+many APs every control epoch.  :class:`GoodputTable` precomputes that
+curve once on a fine SNR grid and serves vectorised lookups by linear
+interpolation (the curve is smooth and monotone, so interpolation error
+is far below the shadowing noise the controller already lives with).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.error import ErrorModel
+
+
+class GoodputTable:
+    """Precomputed SNR -> best-case MAC goodput curve with array lookups."""
+
+    def __init__(
+        self,
+        error_model: Optional[ErrorModel] = None,
+        snr_min_db: float = -10.0,
+        snr_max_db: float = 45.0,
+        step_db: float = 0.5,
+        payload_bytes: int = 1500,
+        bandwidth_hz: float = 40e6,
+    ) -> None:
+        if snr_max_db <= snr_min_db:
+            raise ValueError("snr_max_db must exceed snr_min_db")
+        if step_db <= 0:
+            raise ValueError(f"step_db must be positive, got {step_db}")
+        model = error_model if error_model is not None else ErrorModel()
+        self.snr_grid_db = np.arange(snr_min_db, snr_max_db + step_db / 2, step_db)
+        self.goodput_grid_mbps = np.array(
+            [
+                model.expected_goodput_mbps(
+                    float(snr), payload_bytes=payload_bytes, bandwidth_hz=bandwidth_hz
+                )
+                for snr in self.snr_grid_db
+            ]
+        )
+
+    def goodput_mbps(self, snr_db: np.ndarray) -> np.ndarray:
+        """Best-case MAC goodput at each SNR (clamped to the table range)."""
+        return np.interp(
+            np.asarray(snr_db, dtype=float), self.snr_grid_db, self.goodput_grid_mbps
+        )
+
+
+def ap_load(serving: np.ndarray, n_aps: int) -> np.ndarray:
+    """Clients associated per AP: ``(n_aps,)`` counts from a serving map.
+
+    Unassociated clients (serving index ``< 0``) do not load any AP.
+    """
+    serving = np.asarray(serving)
+    return np.bincount(serving[serving >= 0], minlength=n_aps).astype(float)
+
+
+def attainable_throughput_mbps(
+    goodput_mbps: np.ndarray, pdr: np.ndarray, load: np.ndarray
+) -> np.ndarray:
+    """Aquamet attainable throughput per (client, AP) link.
+
+    ``goodput_mbps * pdr`` is what the link itself can deliver; dividing by
+    the AP's current association count models the fair airtime share a
+    joining client would get.  An empty AP divides by one — the client
+    would have it to itself.
+    """
+    return goodput_mbps * pdr / np.maximum(np.asarray(load, dtype=float), 1.0)

@@ -1,0 +1,373 @@
+"""The multi-AP handover controller: association map + control epochs.
+
+A :class:`Controller` owns the association map for a fleet of clients
+over a set of APs.  Each control epoch it is fed the fleet-wide link
+observation matrix (:meth:`Controller.observe`), folds it into the
+per-(client, AP) sliding windows of :class:`repro.controller.stats`,
+and asks its :class:`repro.controller.policy.HandoverPolicy` for a
+target AP per client (:meth:`Controller.run_epoch`).  Mobility hints
+from the sensing pipeline arrive out-of-band via
+:meth:`Controller.update_hint` — the controller is a *consumer* of
+:class:`repro.core.hints.MobilityEstimate`, exactly as an enterprise
+WLAN controller would consume hint reports from its APs.
+
+Failure domains follow the :class:`repro.sim.supervisor.Supervisor`
+pattern: a dead AP is quarantined (:meth:`Controller.mark_ap_down`)
+with a :class:`repro.sim.supervisor.FailureRecord`, its clients
+mass-reassociate to their strongest surviving AP, and the run
+continues — the same shape a failing session takes under ``isolate``.
+Policy decisions are per-client pure functions of the link windows, so
+clients on surviving APs stay bit-identical to a fault-free run (pinned
+by ``tests/test_controller_chaos.py``).
+
+Everything the controller does surfaces through ``controller.*``
+telemetry (see ``docs/observability.md``): handovers issued, ping-pongs,
+suppressed roams, association churn, AP liveness, and per-epoch policy
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.controller.aquamet import GoodputTable, ap_load, attainable_throughput_mbps
+from repro.controller.policy import HandoverPolicy, PolicyInputs
+from repro.controller.stats import LinkStatsBook
+from repro.core.hints import MobilityEstimate
+from repro.mobility.modes import MobilityMode
+from repro.sim.supervisor import FailureRecord
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller-wide knobs, validated at construction.
+
+    Attributes:
+        epoch_s: control-epoch period — how often policies run.
+        stats_window: sliding-window depth, in epochs, for the link stats.
+        pingpong_window_s: a handover back to the previous AP within this
+            span of the last handover counts as a ping-pong.
+        noise_floor_dbm: receiver noise floor for RSSI -> SNR conversion.
+        handover_outage_s: airtime a client loses to one handover
+            (re-association + re-auth); converts handover counts into the
+            throughput cost the acceptance criterion charges.
+        mac_efficiency: fraction of the PHY-layer best-case goodput the
+            MAC actually delivers (contention, overheads).
+    """
+
+    epoch_s: float = 1.0
+    stats_window: int = 8
+    pingpong_window_s: float = 10.0
+    noise_floor_dbm: float = -91.0
+    handover_outage_s: float = 0.25
+    mac_efficiency: float = 0.65
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ValueError(f"epoch_s must be positive, got {self.epoch_s}")
+        if self.stats_window < 2:
+            raise ValueError(f"stats_window must be >= 2, got {self.stats_window}")
+        if self.pingpong_window_s < 0:
+            raise ValueError(
+                f"pingpong_window_s must be non-negative, got {self.pingpong_window_s}"
+            )
+        if self.handover_outage_s < 0:
+            raise ValueError(
+                f"handover_outage_s must be non-negative, got {self.handover_outage_s}"
+            )
+        if not 0.0 < self.mac_efficiency <= 1.0:
+            raise ValueError(
+                f"mac_efficiency must be in (0, 1], got {self.mac_efficiency}"
+            )
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One control epoch's outcome, as appended to ``Controller.epochs``."""
+
+    time_s: float
+    n_handovers: int
+    n_pingpong: int
+    n_suppressed: int
+    churn: float
+    latency_s: float
+    mean_attainable_mbps: float
+    mean_goodput_mbps: float
+
+
+class Controller:
+    """Association map + sliding-window stats + pluggable handover policy.
+
+    Feed it one :meth:`observe` per control epoch (the fleet-wide RSSI
+    and optional PDR matrices), stream mobility hints in through
+    :meth:`update_hint`, and call :meth:`run_epoch` to let the policy
+    act.  All fleet state is arrays-of-clients: ``association`` is
+    ``(N,)`` AP indices, the link windows are ``(W, N, A)`` ring buffers.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        n_aps: int,
+        policy: HandoverPolicy,
+        config: Optional[ControllerConfig] = None,
+        goodput_table: Optional[GoodputTable] = None,
+        recorder: Recorder = NULL_RECORDER,
+        client_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n_clients < 1 or n_aps < 1:
+            raise ValueError("need at least one client and one AP")
+        if client_labels is not None and len(client_labels) != n_clients:
+            raise ValueError(
+                f"{len(client_labels)} labels cannot name {n_clients} clients"
+            )
+        self.n_clients = n_clients
+        self.n_aps = n_aps
+        self.policy = policy
+        self.config = config if config is not None else ControllerConfig()
+        self.goodput_table = (
+            goodput_table if goodput_table is not None else GoodputTable()
+        )
+        self.recorder = recorder
+        self.client_labels: Tuple[str, ...] = (
+            tuple(client_labels)
+            if client_labels is not None
+            else tuple(f"client-{i}" for i in range(n_clients))
+        )
+        self._label_index = {label: i for i, label in enumerate(self.client_labels)}
+
+        self.stats = LinkStatsBook(n_clients, n_aps, window=self.config.stats_window)
+        self.association = np.full(n_clients, -1, dtype=int)
+        self.alive = np.ones(n_aps, dtype=bool)
+        self.last_handover_s = np.full(n_clients, -np.inf)
+        self._prev_ap = np.full(n_clients, -1, dtype=int)
+        self._hint_macro = np.zeros(n_clients, dtype=bool)
+        self._hint_away = np.zeros(n_clients, dtype=bool)
+        self._hint_provisional = np.zeros(n_clients, dtype=bool)
+
+        self.epochs: List[EpochReport] = []
+        self.ap_failures: Dict[str, FailureRecord] = {}
+        self.totals: Dict[str, int] = {
+            "handovers": 0,
+            "pingpong": 0,
+            "suppressed": 0,
+            "reassociations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def update_hint(self, client: Union[int, str], estimate: MobilityEstimate) -> None:
+        """Record a client's latest mobility hint (index or label)."""
+        idx = self._label_index[client] if isinstance(client, str) else int(client)
+        if not 0 <= idx < self.n_clients:
+            raise ValueError(f"client index {idx} out of range")
+        self._hint_macro[idx] = estimate.mode == MobilityMode.MACRO
+        self._hint_away[idx] = estimate.moving_away
+        self._hint_provisional[idx] = not estimate.tof_window_full
+
+    def observe(
+        self, now_s: float, rssi_dbm: np.ndarray, pdr: Optional[np.ndarray] = None
+    ) -> None:
+        """Fold one epoch's ``(N, A)`` link observations into the windows.
+
+        Derives the estimated rate from the RSSI via the precomputed
+        goodput table (scaled by ``mac_efficiency``) and the measured
+        rate as estimated x PDR, matching the aquamet inputs.  Clients
+        not yet associated are attached to their strongest live AP —
+        initial association, not a handover.
+        """
+        rssi_dbm = np.asarray(rssi_dbm, dtype=float)
+        if rssi_dbm.shape != (self.n_clients, self.n_aps):
+            raise ValueError(
+                f"expected RSSI shape {(self.n_clients, self.n_aps)}, "
+                f"got {rssi_dbm.shape}"
+            )
+        snr_db = rssi_dbm - self.config.noise_floor_dbm
+        est_rate = self.goodput_table.goodput_mbps(snr_db) * self.config.mac_efficiency
+        meas_rate = est_rate if pdr is None else est_rate * np.asarray(pdr, dtype=float)
+        self.stats.push(
+            rssi_dbm, pdr=pdr, est_rate_mbps=est_rate, meas_rate_mbps=meas_rate
+        )
+
+        unassociated = self.association < 0
+        if np.any(unassociated):
+            live = np.where(self.alive[None, :], rssi_dbm, -np.inf)
+            self.association[unassociated] = np.argmax(live[unassociated], axis=1)
+
+    # ------------------------------------------------------------------
+    # Control epochs
+    # ------------------------------------------------------------------
+
+    def policy_inputs(self, now_s: float) -> PolicyInputs:
+        """The policy-facing snapshot for this epoch's link windows."""
+        if self.stats.rssi.count == 0:
+            raise ValueError("run_epoch() before the first observe()")
+        goodput = self.stats.est_rate.mean()
+        pdr = self.stats.pdr.mean()
+        load = ap_load(self.association, self.n_aps)
+        return PolicyInputs(
+            now_s=now_s,
+            serving=self.association.copy(),
+            rssi_dbm=self.stats.rssi.mean(),
+            rssi_slope_db=self.stats.rssi.slope(),
+            attainable_mbps=attainable_throughput_mbps(goodput, pdr, load[None, :]),
+            alive=self.alive.copy(),
+            last_handover_s=self.last_handover_s.copy(),
+            window_full=self.stats.rssi.full,
+            hint_macro=self._hint_macro.copy(),
+            hint_away=self._hint_away.copy(),
+            hint_provisional=self._hint_provisional.copy(),
+        )
+
+    def run_epoch(self, now_s: float) -> EpochReport:
+        """Run the handover policy once and apply its decisions."""
+        live = self.recorder.enabled
+        t0 = perf_counter() if live else 0.0
+
+        inputs = self.policy_inputs(now_s)
+        decision = self.policy.decide(inputs)
+        targets = np.asarray(decision.targets, dtype=int)
+        if targets.shape != (self.n_clients,):
+            raise ValueError(
+                f"policy {self.policy.name!r} returned targets of shape "
+                f"{targets.shape}, expected {(self.n_clients,)}"
+            )
+
+        moved = targets != self.association
+        pingpong = (
+            moved
+            & (targets == self._prev_ap)
+            & (now_s - self.last_handover_s <= self.config.pingpong_window_s)
+        )
+        old_serving = self.association.copy()
+        self._prev_ap[moved] = old_serving[moved]
+        self.association = targets
+        self.last_handover_s[moved] = now_s
+
+        n_handovers = int(np.count_nonzero(moved))
+        n_pingpong = int(np.count_nonzero(pingpong))
+        churn = n_handovers / self.n_clients
+
+        # Throughput accounting at the *new* association, charging each
+        # moved client the handover outage for this epoch.
+        load = ap_load(self.association, self.n_aps)
+        attainable = attainable_throughput_mbps(
+            self.stats.est_rate.mean(), self.stats.pdr.mean(), load[None, :]
+        )
+        serving_att = attainable[np.arange(self.n_clients), self.association]
+        outage_fraction = min(self.config.handover_outage_s / self.config.epoch_s, 1.0)
+        goodput = serving_att * np.where(moved, 1.0 - outage_fraction, 1.0)
+
+        latency_s = (perf_counter() - t0) if live else 0.0
+        report = EpochReport(
+            time_s=now_s,
+            n_handovers=n_handovers,
+            n_pingpong=n_pingpong,
+            n_suppressed=decision.n_suppressed,
+            churn=churn,
+            latency_s=latency_s,
+            mean_attainable_mbps=float(serving_att.mean()),
+            mean_goodput_mbps=float(goodput.mean()),
+        )
+        self.epochs.append(report)
+        self.totals["handovers"] += n_handovers
+        self.totals["pingpong"] += n_pingpong
+        self.totals["suppressed"] += decision.n_suppressed
+
+        if live:
+            if n_handovers:
+                self.recorder.count("controller.handovers", n_handovers)
+            if n_pingpong:
+                self.recorder.count("controller.pingpong", n_pingpong)
+            if decision.n_suppressed:
+                self.recorder.count("controller.suppressed", decision.n_suppressed)
+            self.recorder.gauge("controller.churn", churn)
+            self.recorder.gauge(
+                "controller.aps_alive", float(np.count_nonzero(self.alive))
+            )
+            self.recorder.observe("controller.epoch_s", latency_s)
+            self.recorder.event(
+                "controller_epoch",
+                now_s,
+                step=len(self.epochs) - 1,
+                policy=self.policy.name,
+                n_handovers=n_handovers,
+                n_pingpong=n_pingpong,
+                n_suppressed=decision.n_suppressed,
+            )
+            for idx in np.flatnonzero(moved):
+                self.recorder.event(
+                    "controller_handover",
+                    now_s,
+                    client=self.client_labels[idx],
+                    from_ap=int(old_serving[idx]),
+                    to_ap=int(targets[idx]),
+                    pingpong=bool(pingpong[idx]),
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # Failure domains
+    # ------------------------------------------------------------------
+
+    def mark_ap_down(self, now_s: float, ap: int, reason: str = "ap failure") -> int:
+        """Quarantine a dead AP and mass-reassociate its clients.
+
+        Mirrors the supervisor's ``isolate`` policy at the AP level: the
+        AP gets a :class:`FailureRecord` in :attr:`ap_failures`, its
+        column is masked from future policy decisions, and every client
+        it was serving moves to its strongest surviving AP immediately
+        (these count as ``reassociations``, not policy handovers).
+        Returns the number of clients reassociated.
+        """
+        if not 0 <= ap < self.n_aps:
+            raise ValueError(f"AP index {ap} out of range")
+        if not self.alive[ap]:
+            return 0
+        self.alive[ap] = False
+        label = f"ap-{ap}"
+        self.ap_failures[label] = FailureRecord(
+            client=label,
+            phase="serve",
+            step=len(self.epochs),
+            time_s=now_s,
+            exception_type="ApFailure",
+            message=reason,
+        )
+
+        n_moved = 0
+        if self.stats.rssi.count > 0:
+            stranded = self.association == ap
+            n_moved = int(np.count_nonzero(stranded))
+            if n_moved:
+                live_rssi = np.where(
+                    self.alive[None, :], self.stats.rssi.mean(), -np.inf
+                )
+                rescue = np.argmax(live_rssi[stranded], axis=1)
+                self._prev_ap[stranded] = ap
+                self.association[stranded] = rescue
+                self.last_handover_s[stranded] = now_s
+                self.totals["reassociations"] += n_moved
+
+        if self.recorder.enabled:
+            self.recorder.count("controller.ap_down")
+            if n_moved:
+                self.recorder.count("controller.reassociations", n_moved)
+            self.recorder.gauge(
+                "controller.aps_alive", float(np.count_nonzero(self.alive))
+            )
+            self.recorder.event(
+                "controller_ap_down",
+                now_s,
+                ap=ap,
+                reason=reason,
+                n_reassociated=n_moved,
+            )
+        return n_moved

@@ -1,0 +1,253 @@
+"""Pluggable handover policies evaluated once per control epoch.
+
+A :class:`HandoverPolicy` consumes one :class:`PolicyInputs` snapshot —
+the windowed link statistics, the association map, the per-client
+mobility hints — and proposes a target AP per client, vectorised over
+the whole fleet.  Three implementations ship:
+
+* :class:`StrongestApPolicy` — the greedy baseline: always sit on the
+  strongest live AP.  Chases shadowing noise, so it roams constantly in a
+  dense deployment (the roaming-storm scenario quantifies this).
+* :class:`HysteresisPolicy` — the standard deployed mitigation: roam only
+  for a clear margin and not more often than a cooldown.
+* :class:`MobilityHintPolicy` — the paper's contribution applied at the
+  controller: settled MACRO clients are never bounced between APs for
+  signal noise, clients settled on an AWAY heading are pre-emptively
+  steered to an AP they are approaching, and decisions whose ToF trend
+  window had not filled (``tof_window_full=False``) are treated as
+  provisional — they never trigger a hint-driven roam.
+
+Every decide() is a pure function of its inputs: no wall clock, no RNG,
+no hidden state, so a seeded scenario replays bit-identically and a
+per-client decision depends only on that client's own row (the property
+the AP-failure chaos test pins).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolicyInputs:
+    """One control epoch's snapshot, as handed to a policy.
+
+    Attributes:
+        now_s: control-epoch time on the simulation clock.
+        serving: ``(N,)`` current AP index per client.
+        rssi_dbm: ``(N, A)`` windowed mean RSSI per (client, AP).
+        rssi_slope_db: ``(N, A)`` RSSI slope per epoch — the
+            infrastructure-side heading signal (positive = approaching).
+        attainable_mbps: ``(N, A)`` aquamet attainable-throughput estimate.
+        alive: ``(A,)`` AP liveness mask (dead APs are never targets).
+        last_handover_s: ``(N,)`` time of each client's last handover
+            (``-inf`` before the first).
+        window_full: whether the stats windows have filled — early epochs
+            carry noisy means, so margin-based policies may hold back.
+        hint_macro: ``(N,)`` latest mobility hint says MACRO.
+        hint_away: ``(N,)`` latest MACRO hint's heading is AWAY.
+        hint_provisional: ``(N,)`` latest hint had ``tof_window_full=False``.
+    """
+
+    now_s: float
+    serving: np.ndarray
+    rssi_dbm: np.ndarray
+    rssi_slope_db: np.ndarray
+    attainable_mbps: np.ndarray
+    alive: np.ndarray
+    last_handover_s: np.ndarray
+    window_full: bool
+    hint_macro: np.ndarray
+    hint_away: np.ndarray
+    hint_provisional: np.ndarray
+
+    @property
+    def n_clients(self) -> int:
+        return int(self.serving.shape[0])
+
+    @property
+    def n_aps(self) -> int:
+        return int(self.rssi_dbm.shape[1])
+
+    def serving_rssi_dbm(self) -> np.ndarray:
+        """``(N,)`` windowed RSSI at each client's serving AP (``-inf``
+        when the serving AP is dead — any live AP then beats staying)."""
+        rssi = self.rssi_dbm[np.arange(self.n_clients), self.serving]
+        return np.where(self.alive[self.serving], rssi, -np.inf)
+
+    def live_rssi_dbm(self) -> np.ndarray:
+        """``(N, A)`` RSSI with dead-AP columns masked to ``-inf``."""
+        return np.where(self.alive[None, :], self.rssi_dbm, -np.inf)
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's verdict: proposed AP per client plus suppression count.
+
+    ``targets[i] == inputs.serving[i]`` means "stay".  ``n_suppressed``
+    counts roams a greedier reading of the inputs would have issued but
+    the policy vetoed (hysteresis margin, cooldown, mobility pinning,
+    provisional hints) — the storm scenarios chart it against the
+    handovers actually issued.
+    """
+
+    targets: np.ndarray
+    n_suppressed: int = 0
+
+
+class HandoverPolicy(abc.ABC):
+    """One control-epoch handover decision rule."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(self, inputs: PolicyInputs) -> PolicyDecision:
+        """Propose a target AP per client for this epoch."""
+
+
+class StrongestApPolicy(HandoverPolicy):
+    """Greedy baseline: every client sits on its strongest live AP."""
+
+    name = "strongest"
+
+    def decide(self, inputs: PolicyInputs) -> PolicyDecision:
+        return PolicyDecision(targets=np.argmax(inputs.live_rssi_dbm(), axis=1))
+
+
+class HysteresisPolicy(HandoverPolicy):
+    """Roam only for a clear RSSI margin, rate-limited per client.
+
+    A client whose serving AP died is always evacuated to its strongest
+    live AP, margin and cooldown notwithstanding.
+    """
+
+    name = "hysteresis"
+
+    def __init__(self, margin_db: float = 3.0, cooldown_s: float = 4.0) -> None:
+        if margin_db < 0:
+            raise ValueError(f"margin_db must be non-negative, got {margin_db}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {cooldown_s}")
+        self.margin_db = margin_db
+        self.cooldown_s = cooldown_s
+
+    def decide(self, inputs: PolicyInputs) -> PolicyDecision:
+        live = inputs.live_rssi_dbm()
+        best = np.argmax(live, axis=1)
+        best_rssi = live[np.arange(inputs.n_clients), best]
+        serving_rssi = inputs.serving_rssi_dbm()
+        serving_dead = ~inputs.alive[inputs.serving]
+        cooled = inputs.now_s - inputs.last_handover_s >= self.cooldown_s
+        wants = best_rssi > serving_rssi
+        allowed = serving_dead | (
+            (best_rssi >= serving_rssi + self.margin_db) & cooled
+        )
+        roam = wants & allowed & (best != inputs.serving)
+        targets = np.where(roam, best, inputs.serving)
+        n_suppressed = int(np.count_nonzero(wants & ~allowed & (best != inputs.serving)))
+        return PolicyDecision(targets=targets, n_suppressed=n_suppressed)
+
+
+class MobilityHintPolicy(HysteresisPolicy):
+    """Hysteresis plus the paper's PHY-layer mobility hints.
+
+    Three hint rules on top of the hysteresis base:
+
+    * **don't bounce** — a client under settled MACRO mobility is passing
+      through cells, so transient signal margins are noise, not a reason
+      to roam: the hysteresis margin is raised to ``pin_margin_db`` for
+      it.  A decisive gain (a genuine cell transition) still roams, and
+      the pin is dropped entirely when the link collapses below
+      ``rescue_floor_dbm`` or the serving AP dies;
+    * **pre-emptive roam** — a client settled on an AWAY heading is
+      steered, before its link degrades, to the best candidate AP it is
+      approaching (positive RSSI slope) whose signal is within
+      ``preempt_margin_db`` of the serving AP;
+    * **provisional hints never act** — a decision carrying
+      ``tof_window_full=False`` (the trend window was still filling, e.g.
+      right at mobility onset, or the safe default after a sensing
+      quarantine) suppresses the hint-driven behaviours above; the client
+      falls back to plain hysteresis until the estimate settles.
+    """
+
+    name = "mobility-hint"
+
+    def __init__(
+        self,
+        margin_db: float = 3.0,
+        cooldown_s: float = 4.0,
+        pin_margin_db: float = 8.0,
+        preempt_margin_db: float = 0.0,
+        preempt_cooldown_s: float = 5.0,
+        rescue_floor_dbm: float = -78.0,
+    ) -> None:
+        super().__init__(margin_db=margin_db, cooldown_s=cooldown_s)
+        if pin_margin_db < margin_db:
+            raise ValueError(
+                f"pin_margin_db ({pin_margin_db}) must be >= margin_db ({margin_db})"
+            )
+        self.pin_margin_db = pin_margin_db
+        self.preempt_margin_db = preempt_margin_db
+        self.preempt_cooldown_s = preempt_cooldown_s
+        self.rescue_floor_dbm = rescue_floor_dbm
+
+    def preempt(self, inputs: PolicyInputs) -> Tuple[np.ndarray, np.ndarray]:
+        """Pre-emptive roam candidates: ``(targets, eligible)``.
+
+        For every client, the best live AP it is approaching (positive
+        RSSI slope) with RSSI at least ``serving + preempt_margin_db``;
+        ``eligible`` marks clients for which such a candidate exists and
+        the pre-emption cooldown has passed.  Eligibility is *geometric*
+        only — the mobility-hint gating (settled MACRO, AWAY heading,
+        not provisional) is applied by the caller, so the single-client
+        adapter in :class:`repro.roaming.schemes.ControllerRoaming` shares
+        this exact candidate rule.
+        """
+        n = inputs.n_clients
+        serving_rssi = inputs.serving_rssi_dbm()
+        candidate_rssi = inputs.live_rssi_dbm().copy()
+        candidate_rssi[inputs.rssi_slope_db <= 0.0] = -np.inf
+        candidate_rssi[np.arange(n), inputs.serving] = -np.inf
+        candidate_rssi[candidate_rssi < serving_rssi[:, None] + self.preempt_margin_db] = -np.inf
+        targets = np.argmax(candidate_rssi, axis=1)
+        has_candidate = np.isfinite(candidate_rssi[np.arange(n), targets])
+        cooled = inputs.now_s - inputs.last_handover_s >= self.preempt_cooldown_s
+        return targets, has_candidate & cooled
+
+    def decide(self, inputs: PolicyInputs) -> PolicyDecision:
+        base = super().decide(inputs)
+        targets = base.targets.copy()
+        n_suppressed = base.n_suppressed
+
+        settled_macro = inputs.hint_macro & ~inputs.hint_provisional
+        serving_dead = ~inputs.alive[inputs.serving]
+        rescue = serving_dead | (inputs.serving_rssi_dbm() < self.rescue_floor_dbm)
+
+        # Don't bounce: settled-MACRO clients that are not marked AWAY
+        # (and don't need rescuing) only roam for a decisive gain.
+        live = inputs.live_rssi_dbm()
+        best_rssi = live[np.arange(inputs.n_clients), targets]
+        decisive = best_rssi >= inputs.serving_rssi_dbm() + self.pin_margin_db
+        pinned = settled_macro & ~inputs.hint_away & ~rescue & ~decisive
+        n_suppressed += int(np.count_nonzero(pinned & (targets != inputs.serving)))
+        targets = np.where(pinned, inputs.serving, targets)
+
+        # Pre-emptive roam for settled MACRO/AWAY clients.
+        preempt_targets, eligible = self.preempt(inputs)
+        preempting = settled_macro & inputs.hint_away & eligible
+        targets = np.where(preempting, preempt_targets, targets)
+
+        # Provisional MACRO/AWAY hints must NOT pre-empt: count the roams
+        # the settled rule would have issued, then drop them.
+        provisional_away = (
+            inputs.hint_macro & inputs.hint_provisional & inputs.hint_away & eligible
+        )
+        n_suppressed += int(
+            np.count_nonzero(provisional_away & (preempt_targets != targets))
+        )
+
+        return PolicyDecision(targets=targets, n_suppressed=n_suppressed)

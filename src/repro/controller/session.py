@@ -1,0 +1,148 @@
+"""Engine integration: drive a :class:`Controller` from the phase loop.
+
+:class:`ControllerSession` is a cohort-less :class:`repro.sim.Session`
+that replays a precomputed fleet observation tensor into the controller
+— ``observe()`` every step, ``run_epoch()`` on the control-epoch stride
+— and fires scheduled AP failures mid-run, so a whole roaming-storm
+scenario runs inside one :class:`repro.sim.SimulationEngine` alongside
+the :class:`repro.sim.BatchedSensingSession` that produces the mobility
+hints (see :mod:`repro.experiments.ext_controller`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.controller.controller import Controller, EpochReport
+from repro.sim.engine import Session, StepClock, TimeGrid
+from repro.sim.supervisor import FailureRecord
+from repro.telemetry.recorder import Recorder
+
+
+@dataclass(frozen=True)
+class ApFailureEvent:
+    """Kill AP ``ap`` at simulation time ``at_s`` (inclusive)."""
+
+    ap: int
+    at_s: float
+    reason: str = "ap failure"
+
+
+@dataclass(frozen=True)
+class ControllerRunResult:
+    """What a finished :class:`ControllerSession` hands back.
+
+    ``association_timeline`` is ``(E, N)``: the fleet association map
+    after each of the E control epochs — the artifact the AP-failure
+    chaos test diffs client-by-client against a fault-free run.
+    """
+
+    policy: str
+    epoch_times: Tuple[float, ...]
+    association_timeline: np.ndarray
+    totals: Dict[str, int]
+    mean_attainable_mbps: float
+    mean_goodput_mbps: float
+    failures: Dict[str, FailureRecord]
+    epochs: Tuple[EpochReport, ...]
+
+
+class ControllerSession(Session):
+    """Feed per-step fleet observations to a controller on the grid.
+
+    ``rssi_by_step`` is ``(T, N, A)`` (and ``pdr_by_step`` optionally the
+    same shape); every engine step pushes one slab into the controller's
+    windows, and every ``epoch_every`` steps the handover policy runs.
+    AP failures scheduled via ``ap_failures`` fire at the start of the
+    first step whose window reaches their ``at_s``, before that step's
+    observation — the controller quarantines the AP and evacuates its
+    clients exactly once.
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        rssi_by_step: np.ndarray,
+        pdr_by_step: Optional[np.ndarray] = None,
+        epoch_every: int = 1,
+        ap_failures: Sequence[ApFailureEvent] = (),
+        client: str = "controller",
+    ) -> None:
+        if epoch_every < 1:
+            raise ValueError(f"epoch_every must be >= 1, got {epoch_every}")
+        rssi_by_step = np.asarray(rssi_by_step, dtype=float)
+        if rssi_by_step.ndim != 3 or rssi_by_step.shape[1:] != (
+            controller.n_clients,
+            controller.n_aps,
+        ):
+            raise ValueError(
+                "rssi_by_step must be (n_steps, "
+                f"{controller.n_clients}, {controller.n_aps}), "
+                f"got {rssi_by_step.shape}"
+            )
+        if pdr_by_step is not None:
+            pdr_by_step = np.asarray(pdr_by_step, dtype=float)
+            if pdr_by_step.shape != rssi_by_step.shape:
+                raise ValueError(
+                    f"pdr_by_step shape {pdr_by_step.shape} must match "
+                    f"rssi_by_step shape {rssi_by_step.shape}"
+                )
+        self.client = client
+        self.controller = controller
+        self._rssi = rssi_by_step
+        self._pdr = pdr_by_step
+        self._epoch_every = epoch_every
+        self._pending_failures: List[ApFailureEvent] = sorted(
+            ap_failures, key=lambda f: (f.at_s, f.ap)
+        )
+        self._association_timeline: List[np.ndarray] = []
+        self._epoch_times: List[float] = []
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        super().bind_recorder(recorder)
+        self.controller.recorder = recorder
+
+    def start(self, grid: TimeGrid) -> None:
+        if len(self._rssi) != len(grid):
+            raise ValueError(
+                f"{len(self._rssi)} observation steps cannot cover a "
+                f"{len(grid)}-step grid"
+            )
+
+    def adapt(self, clock: StepClock) -> None:
+        while self._pending_failures and self._pending_failures[0].at_s <= clock.start_s:
+            failure = self._pending_failures.pop(0)
+            self.controller.mark_ap_down(clock.start_s, failure.ap, failure.reason)
+        pdr = None if self._pdr is None else self._pdr[clock.index]
+        self.controller.observe(clock.start_s, self._rssi[clock.index], pdr=pdr)
+        if clock.index % self._epoch_every == 0:
+            self.controller.run_epoch(clock.start_s)
+            self._association_timeline.append(self.controller.association.copy())
+            self._epoch_times.append(clock.start_s)
+
+    def finish(self) -> ControllerRunResult:
+        epochs = tuple(self.controller.epochs)
+        mean_attainable = (
+            float(np.mean([e.mean_attainable_mbps for e in epochs])) if epochs else 0.0
+        )
+        mean_goodput = (
+            float(np.mean([e.mean_goodput_mbps for e in epochs])) if epochs else 0.0
+        )
+        timeline = (
+            np.stack(self._association_timeline)
+            if self._association_timeline
+            else np.zeros((0, self.controller.n_clients), dtype=int)
+        )
+        return ControllerRunResult(
+            policy=self.controller.policy.name,
+            epoch_times=tuple(self._epoch_times),
+            association_timeline=timeline,
+            totals=dict(self.controller.totals),
+            mean_attainable_mbps=mean_attainable,
+            mean_goodput_mbps=mean_goodput,
+            failures=dict(self.controller.ap_failures),
+            epochs=epochs,
+        )

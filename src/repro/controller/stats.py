@@ -1,0 +1,133 @@
+"""Per-(client, AP) sliding-window link statistics, arrays-of-links style.
+
+The empower-runtime mobility managers keep one deque of recent samples per
+``(wtp, lvap)`` pair (RSSI, PDR, estimated/measured rate) and derive the
+handover inputs from those windows.  At enterprise scale that is N x A
+deques; this module keeps the same windows as one ``(W, N, A)`` ring
+buffer per statistic, so a controller serving hundreds of clients over
+many APs updates every window with one array write per control epoch and
+reduces them with one vectorised pass.
+
+Windows advance in lockstep: the controller observes the whole RSSI/PDR
+matrix each epoch, so the fill count is global rather than per link.  A
+dead AP's column keeps updating (observations are generated regardless);
+policies exclude it through their ``alive`` mask instead, which keeps a
+surviving client's window contents bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class MatrixWindow:
+    """Sliding window of ``(n_clients, n_aps)`` matrices with vector stats.
+
+    The vector twin of ``deque(maxlen=window)`` per (client, AP) pair:
+    :meth:`push` overwrites the oldest slab once ``window`` observations
+    have accumulated, and the reductions (:meth:`mean`, :meth:`slope`)
+    operate on the occupied slabs only.
+    """
+
+    def __init__(self, n_clients: int, n_aps: int, window: int) -> None:
+        if n_clients < 1 or n_aps < 1:
+            raise ValueError("need at least one client and one AP")
+        if window < 2:
+            raise ValueError(f"window must cover >= 2 epochs, got {window}")
+        self.n_clients = n_clients
+        self.n_aps = n_aps
+        self.window = window
+        self._values = np.zeros((window, n_clients, n_aps), dtype=float)
+        self._count = 0
+        self._pos = 0
+
+    @property
+    def count(self) -> int:
+        """Observations currently held (saturates at ``window``)."""
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.window
+
+    def push(self, values: np.ndarray) -> None:
+        """Record one epoch's ``(n_clients, n_aps)`` observation matrix."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_clients, self.n_aps):
+            raise ValueError(
+                f"expected shape {(self.n_clients, self.n_aps)}, got {values.shape}"
+            )
+        self._values[self._pos] = values
+        self._pos = (self._pos + 1) % self.window
+        self._count = min(self._count + 1, self.window)
+
+    def _ordered(self) -> np.ndarray:
+        """Occupied slabs in FIFO order: ``(count, n_clients, n_aps)``."""
+        if self._count == 0:
+            raise ValueError("window is empty; push() at least one observation")
+        order = (self._pos - self._count + np.arange(self._count)) % self.window
+        return self._values[order]
+
+    def latest(self) -> np.ndarray:
+        """The most recent observation matrix."""
+        if self._count == 0:
+            raise ValueError("window is empty; push() at least one observation")
+        return self._values[(self._pos - 1) % self.window].copy()
+
+    def mean(self) -> np.ndarray:
+        """Per-link mean over the occupied window: ``(n_clients, n_aps)``."""
+        return self._ordered().mean(axis=0)
+
+    def slope(self) -> np.ndarray:
+        """Per-link least-squares slope, in value units per epoch.
+
+        The infrastructure-side heading signal: a positive RSSI slope
+        towards an AP means the client is approaching it.  Zeros until the
+        window holds two observations.
+        """
+        if self._count < 2:
+            return np.zeros((self.n_clients, self.n_aps), dtype=float)
+        ordered = self._ordered()
+        x = np.arange(self._count, dtype=float)
+        x_centered = x - x.mean()
+        denom = float(np.dot(x_centered, x_centered))
+        return np.tensordot(x_centered, ordered, axes=(0, 0)) / denom
+
+
+class LinkStatsBook:
+    """The controller's per-(client, AP) windows: RSSI, PDR, and rates.
+
+    One :meth:`push` per control epoch with whatever statistics the
+    observation path produced; estimated/measured rate are optional
+    (``None`` leaves their windows untouched so a deployment without rate
+    accounting still gets RSSI/PDR policies).
+    """
+
+    def __init__(self, n_clients: int, n_aps: int, window: int = 8) -> None:
+        self.n_clients = n_clients
+        self.n_aps = n_aps
+        self.rssi = MatrixWindow(n_clients, n_aps, window)
+        self.pdr = MatrixWindow(n_clients, n_aps, window)
+        self.est_rate = MatrixWindow(n_clients, n_aps, window)
+        self.meas_rate = MatrixWindow(n_clients, n_aps, window)
+        self.n_pushes = 0
+
+    def push(
+        self,
+        rssi_dbm: np.ndarray,
+        pdr: Optional[np.ndarray] = None,
+        est_rate_mbps: Optional[np.ndarray] = None,
+        meas_rate_mbps: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record one epoch of link observations (``(n_clients, n_aps)``)."""
+        self.rssi.push(rssi_dbm)
+        if pdr is None:
+            pdr = np.ones((self.n_clients, self.n_aps), dtype=float)
+        self.pdr.push(pdr)
+        if est_rate_mbps is not None:
+            self.est_rate.push(est_rate_mbps)
+        if meas_rate_mbps is not None:
+            self.meas_rate.push(meas_rate_mbps)
+        self.n_pushes += 1

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
+    ext_controller,
     ext_speed_sensitivity,
     ext_threshold_sweep,
     fig01_rssi,
@@ -106,6 +107,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         "Extension: CSI similarity threshold sweep",
         lambda: ext_threshold_sweep.run(duration_s=90.0, n_locations=2),
         lambda: ext_threshold_sweep.run(duration_s=45.0, n_locations=1),
+    ),
+    "controller": (
+        "Extension: multi-AP controller roaming storm, per handover policy",
+        lambda: ext_controller.run(n_clients=200, duration_s=60.0),
+        lambda: ext_controller.run(n_clients=60, duration_s=30.0),
     ),
 }
 

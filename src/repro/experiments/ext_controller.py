@@ -1,0 +1,324 @@
+"""Extension study — the roaming-storm scenario family for the controller.
+
+An enterprise deployment's worst hour: many cells, hundreds of clients,
+most of them walking, per-epoch shadowing jitter everywhere.  A greedy
+strongest-AP controller chases that jitter into a roaming storm —
+constant handovers, many straight back to the AP the client just left.
+This scenario family builds the whole situation deterministically from
+one seed and runs it through :mod:`repro.controller` end to end:
+
+* geometry from a :func:`repro.wlan.floorplan.grid_floorplan`;
+* per-client trajectories (waypoint walkers, approach/retreat clients
+  feeding clean AWAY headings, static desks) sampled on a fine grid;
+* PHY truth per (client, AP) from :class:`repro.wlan.MultiApChannel` —
+  the same path-loss/shadowing/MIMO model every other experiment uses —
+  plus seeded per-epoch RSSI measurement jitter, the noise a greedy
+  policy chases into the storm;
+* mobility hints produced by the real pipeline — a seeded
+  :class:`repro.phy.tof.ToFSampler` stream plus the anchor AP's
+  *measured* CSI from the channel trace, classified by
+  :class:`repro.core.batched.BatchedMobilityClassifier` inside a
+  :class:`repro.sim.BatchedSensingSession`;
+* the controller as a :class:`repro.controller.ControllerSession` on the
+  same :class:`repro.sim.SimulationEngine`, consuming those hints live.
+
+:func:`compare_policies` replays the identical inputs under each
+handover policy; the acceptance criterion (mobility hints ⇒ fewer
+handovers, fewer ping-pongs, goodput no worse) is asserted over this
+scenario in ``benchmarks/test_controller.py`` and the AP-failure
+variants drive ``tests/test_controller_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.config import ChannelConfig
+from repro.controller import (
+    Controller,
+    ControllerConfig,
+    ControllerRunResult,
+    ControllerSession,
+    GoodputTable,
+    HandoverPolicy,
+    HysteresisPolicy,
+    MobilityHintPolicy,
+    StrongestApPolicy,
+)
+from repro.controller.session import ApFailureEvent
+from repro.core.batched import BatchedMobilityClassifier
+from repro.phy.tof import ToFSampler
+from repro.sim import BatchedSensingSession, SimulationEngine, TimeGrid
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.wlan.floorplan import Floorplan, grid_floorplan
+from repro.wlan.multilink import MultiApChannel
+from repro.mobility.trajectory import (
+    ApproachRetreatTrajectory,
+    StaticTrajectory,
+    TrajectoryTrace,
+    WaypointWalkTrajectory,
+)
+
+#: Fine sampling grid for trajectories and ToF (matches experiments/common).
+TRAJECTORY_DT_S = 0.02
+
+
+@dataclass(frozen=True)
+class StormInputs:
+    """One fully-materialised roaming-storm scenario (replayable)."""
+
+    floorplan: Floorplan
+    grid_times: np.ndarray
+    rssi_by_step: np.ndarray  # (T, N, A)
+    pdr_by_step: np.ndarray  # (T, N, A)
+    csi_by_client: Tuple[Tuple[np.ndarray, ...], ...]
+    tof_times: Tuple[np.ndarray, ...]
+    tof_readings: Tuple[np.ndarray, ...]
+    labels: Tuple[str, ...]
+    epoch_every: int
+    controller_config: ControllerConfig
+
+    @property
+    def n_clients(self) -> int:
+        return int(self.rssi_by_step.shape[1])
+
+    @property
+    def n_aps(self) -> int:
+        return int(self.rssi_by_step.shape[2])
+
+    @property
+    def duration_s(self) -> float:
+        return float(len(self.grid_times) * (self.grid_times[1] - self.grid_times[0]))
+
+
+def build_storm(
+    n_clients: int,
+    floorplan: Optional[Floorplan] = None,
+    duration_s: float = 60.0,
+    step_s: float = 0.5,
+    walker_fraction: float = 0.8,
+    epoch_s: float = 1.0,
+    rssi_noise_db: float = 3.0,
+    channel_config: Optional[ChannelConfig] = None,
+    seed: SeedLike = 42,
+) -> StormInputs:
+    """Materialise a seeded roaming-storm scenario.
+
+    ``walker_fraction`` of the fleet is mobile: three quarters of those
+    are waypoint walkers (MACRO with wandering heading), one quarter
+    walks radially away from its nearest AP (clean AWAY heading — the
+    clients the hint policy can pre-emptively steer).  The rest sit
+    still.  Each client gets its own :class:`MultiApChannel` evaluation
+    (path loss, correlated shadowing, MIMO H towards its anchor AP for
+    measured CSI) plus ``rssi_noise_db`` of iid per-epoch measurement
+    jitter.  Everything derives from ``seed``.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0 or step_s <= 0 or epoch_s <= 0:
+        raise ValueError("duration_s, step_s and epoch_s must be positive")
+    if rssi_noise_db < 0:
+        raise ValueError(f"rssi_noise_db must be non-negative, got {rssi_noise_db}")
+    floorplan = floorplan if floorplan is not None else grid_floorplan()
+    config = channel_config if channel_config is not None else ChannelConfig()
+    root = ensure_rng(seed)
+    client_rngs = spawn_rngs(root, n_clients)
+    noise_rng, csi_rng = spawn_rngs(root, 2)
+
+    n_steps = int(round(duration_s / step_s))
+    grid_times = np.arange(n_steps) * step_s
+    labels = tuple(f"client-{i}" for i in range(n_clients))
+    x_min, y_min, x_max, y_max = floorplan.bounds
+    area = (x_min + 1.0, y_min + 1.0, x_max - 1.0, y_max - 1.0)
+
+    n_aps = floorplan.n_aps
+    rssi = np.empty((n_steps, n_clients, n_aps))
+    csi_by_client: List[Tuple[np.ndarray, ...]] = []
+    tof_times: List[np.ndarray] = []
+    tof_readings: List[np.ndarray] = []
+    empty = np.empty(0)
+
+    n_mobile = int(round(walker_fraction * n_clients))
+    n_away = n_mobile // 4
+    for i, rng in enumerate(client_rngs):
+        start = floorplan.random_client_position(rng)
+        anchor_ap = floorplan.nearest_ap(start)
+        anchor = floorplan.ap_positions[anchor_ap]
+        mobile = i < n_mobile
+        if i < n_away:
+            trajectory: object = ApproachRetreatTrajectory(
+                anchor,
+                start,
+                leg_duration_s=duration_s / 3.0,
+                min_distance_m=2.0,
+                max_distance_m=float(np.hypot(x_max - x_min, y_max - y_min)),
+                start_towards=False,
+                seed=rng,
+            )
+        elif mobile:
+            trajectory = WaypointWalkTrajectory(start, area=area, seed=rng)
+        else:
+            trajectory = StaticTrajectory(start)
+        trace: TrajectoryTrace = trajectory.sample(duration_s, TRAJECTORY_DT_S)
+
+        # PHY truth: the real multi-AP channel on the controller grid,
+        # with the MIMO H (for measured CSI) only towards the anchor AP.
+        channel = MultiApChannel(floorplan, config, seed=rng)
+        traces = channel.evaluate(
+            trace, sample_interval_s=step_s, include_h_for=[anchor_ap]
+        )
+        rssi[:, i, :] = traces.rssi_matrix()[:n_steps]
+        measured = traces.traces[anchor_ap].measured_csi(csi_rng)
+        csi_by_client.append(tuple(measured[:n_steps]))
+
+        # ToF stream against the anchor AP (the serving AP's sounding),
+        # fine-grained so every trend median aggregates ~50 samples.
+        if mobile:
+            sampler = ToFSampler(seed=rng)
+            tof_times.append(trace.times.copy())
+            tof_readings.append(np.asarray(sampler.sample(trace.distances_to(anchor))))
+        else:
+            tof_times.append(empty)
+            tof_readings.append(empty)
+
+    # Per-epoch iid RSSI measurement jitter over every (step, client, AP)
+    # link — the noise a greedy policy chases into the storm.
+    if rssi_noise_db > 0:
+        rssi += noise_rng.normal(0.0, rssi_noise_db, rssi.shape)
+
+    snr = rssi - config.noise_floor_dbm
+    pdr = 1.0 / (1.0 + np.exp(-(snr - 10.0) / 3.0))
+
+    return StormInputs(
+        floorplan=floorplan,
+        grid_times=grid_times,
+        rssi_by_step=rssi,
+        pdr_by_step=pdr,
+        csi_by_client=tuple(csi_by_client),
+        tof_times=tuple(tof_times),
+        tof_readings=tuple(tof_readings),
+        labels=labels,
+        epoch_every=max(int(round(epoch_s / step_s)), 1),
+        controller_config=ControllerConfig(epoch_s=epoch_s),
+    )
+
+
+def run_storm(
+    inputs: StormInputs,
+    policy: HandoverPolicy,
+    ap_failures: Sequence[ApFailureEvent] = (),
+    goodput_table: Optional[GoodputTable] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> ControllerRunResult:
+    """Replay one storm under ``policy``; hints flow live from the
+    batched sensing cohort into the controller on the same engine."""
+    controller = Controller(
+        inputs.n_clients,
+        inputs.n_aps,
+        policy,
+        config=inputs.controller_config,
+        goodput_table=goodput_table,
+        client_labels=inputs.labels,
+    )
+    classifier = BatchedMobilityClassifier(list(inputs.labels))
+    engine = SimulationEngine(TimeGrid(inputs.grid_times), recorder=recorder)
+    engine.add(
+        BatchedSensingSession(
+            classifier,
+            inputs.csi_by_client,
+            inputs.tof_times,
+            inputs.tof_readings,
+            on_estimate=lambda client, time_s, estimate: controller.update_hint(
+                client, estimate
+            ),
+        )
+    )
+    engine.add(
+        ControllerSession(
+            controller,
+            inputs.rssi_by_step,
+            pdr_by_step=inputs.pdr_by_step,
+            epoch_every=inputs.epoch_every,
+            ap_failures=ap_failures,
+        )
+    )
+    results = engine.run()
+    result = results["controller"]
+    assert isinstance(result, ControllerRunResult)
+    return result
+
+
+def default_policies() -> Tuple[HandoverPolicy, ...]:
+    """The three policies the storm study compares."""
+    return (StrongestApPolicy(), HysteresisPolicy(), MobilityHintPolicy())
+
+
+def compare_policies(
+    inputs: StormInputs,
+    policies: Optional[Sequence[HandoverPolicy]] = None,
+    ap_failures: Sequence[ApFailureEvent] = (),
+    recorder: Recorder = NULL_RECORDER,
+) -> Dict[str, ControllerRunResult]:
+    """Run every policy over the *identical* storm inputs."""
+    policies = tuple(policies) if policies is not None else default_policies()
+    table = GoodputTable()  # share the precomputed SNR curve across runs
+    return {
+        policy.name: run_storm(
+            inputs,
+            policy,
+            ap_failures=ap_failures,
+            goodput_table=table,
+            recorder=recorder,
+        )
+        for policy in policies
+    }
+
+
+@dataclass
+class StormReport:
+    """Per-policy storm outcome, ``format_report``-able for the CLI."""
+
+    n_clients: int
+    n_aps: int
+    duration_s: float
+    results: Dict[str, ControllerRunResult]
+
+    def format_report(self) -> str:
+        lines = [
+            "Extension — controller roaming storm "
+            f"({self.n_clients} clients x {self.n_aps} APs, {self.duration_s:.0f} s)"
+        ]
+        lines.append(
+            f"{'policy':>14}{'handover':>10}{'pingpong':>10}"
+            f"{'suppressed':>12}{'attainable':>12}{'goodput':>10}"
+        )
+        for name, result in self.results.items():
+            lines.append(
+                f"{name:>14}{result.totals['handovers']:>10}"
+                f"{result.totals['pingpong']:>10}{result.totals['suppressed']:>12}"
+                f"{result.mean_attainable_mbps:>10.1f} M{result.mean_goodput_mbps:>8.1f} M"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    n_clients: int = 200,
+    duration_s: float = 60.0,
+    floorplan: Optional[Floorplan] = None,
+    seed: SeedLike = 42,
+) -> StormReport:
+    """The CLI entry point: build one storm, compare the three policies."""
+    inputs = build_storm(
+        n_clients, floorplan=floorplan, duration_s=duration_s, seed=seed
+    )
+    results = compare_policies(inputs)
+    return StormReport(
+        n_clients=inputs.n_clients,
+        n_aps=inputs.n_aps,
+        duration_s=inputs.duration_s,
+        results=results,
+    )

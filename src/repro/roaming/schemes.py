@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.controller.policy import MobilityHintPolicy, PolicyInputs
 from repro.mobility.modes import Heading
 from repro.roaming.base import RoamingContext, RoamingDecision, RoamingScheme
 
@@ -122,11 +125,21 @@ class ControllerRoaming(RoamingScheme):
     """The paper's mobility-aware controller-based roaming (Section 3.1).
 
     The serving AP classifies the client's mobility; only when the client
-    is under macro mobility *moving away* does the controller look for a
-    candidate AP that (a) the client is moving towards and (b) has similar
-    or better signal strength.  If one exists, the client is disassociated
-    and steered to it.  Static/environmental/micro clients are never
-    touched, and neither are clients approaching their serving AP.
+    is under macro mobility *moving away* — and the estimate is settled
+    (``tof_window_full``; a provisional hint from a still-filling trend
+    window must not force a roam, or the client ping-pongs at mobility
+    onset) — does the controller look for a candidate AP that (a) the
+    client is moving towards and (b) has similar or better signal
+    strength.  If one exists, the client is disassociated and steered to
+    it.  Static/environmental/micro clients are never touched, and
+    neither are clients approaching their serving AP.
+
+    Since ``repro.controller`` landed this is a thin single-client
+    adapter: the candidate rule is
+    :meth:`repro.controller.policy.MobilityHintPolicy.preempt`, the same
+    code path the fleet-scale controller runs each epoch, with the
+    neighbour report's per-AP headings standing in for the RSSI slopes
+    the controller derives from its link windows.
     """
 
     name = "controller"
@@ -136,33 +149,72 @@ class ControllerRoaming(RoamingScheme):
         candidate_margin_db: float = 0.0,
         roam_cooldown_s: float = 5.0,
         fallback: Optional[DefaultClientRoaming] = None,
+        policy: Optional[MobilityHintPolicy] = None,
     ) -> None:
         self.candidate_margin_db = candidate_margin_db
         self.roam_cooldown_s = roam_cooldown_s
+        self.policy = policy or MobilityHintPolicy(
+            preempt_margin_db=candidate_margin_db,
+            preempt_cooldown_s=roam_cooldown_s,
+        )
         #: Clients keep their stock firmware: the default scheme still runs.
         self.fallback = fallback or DefaultClientRoaming()
         self._last_roam_s = -1e9
+
+    def _policy_inputs(self, ctx: RoamingContext) -> "tuple[PolicyInputs, list[int]]":
+        """One-row :class:`PolicyInputs` built from the neighbour report.
+
+        The report's discrete per-AP heading becomes the sign of the RSSI
+        slope the fleet controller would have measured (TOWARDS ⇒
+        approaching ⇒ positive slope).
+        """
+        report = ctx.neighbor_report()
+        aps = sorted(report)
+        if ctx.current_ap not in report:
+            aps.append(ctx.current_ap)
+        serving = aps.index(ctx.current_ap)
+        rssi = np.array(
+            [[report[ap].rssi_dbm if ap in report else -np.inf for ap in aps]]
+        )
+        rssi[0, serving] = ctx.current_rssi_dbm()
+        slope = np.array(
+            [
+                [
+                    1.0
+                    if ap in report and report[ap].heading == Heading.TOWARDS
+                    else -1.0
+                    for ap in aps
+                ]
+            ]
+        )
+        true1 = np.ones(1, dtype=bool)
+        inputs = PolicyInputs(
+            now_s=ctx.now_s,
+            serving=np.array([serving]),
+            rssi_dbm=rssi,
+            rssi_slope_db=slope,
+            attainable_mbps=np.zeros_like(rssi),
+            alive=np.ones(len(aps), dtype=bool),
+            last_handover_s=np.array([self._last_roam_s]),
+            window_full=True,
+            hint_macro=true1,
+            hint_away=true1,
+            hint_provisional=~true1,
+        )
+        return inputs, aps
 
     def decide(self, ctx: RoamingContext) -> RoamingDecision:
         estimate = ctx.mobility_estimate()
         if (
             estimate is not None
             and estimate.moving_away
-            and ctx.now_s - self._last_roam_s >= self.roam_cooldown_s
+            and estimate.tof_window_full  # provisional hints never pre-empt
         ):
-            report = ctx.neighbor_report()
-            rssi_here = ctx.current_rssi_dbm()
-            candidates = {
-                ap: obs
-                for ap, obs in report.items()
-                if ap != ctx.current_ap
-                and obs.heading == Heading.TOWARDS
-                and obs.rssi_dbm >= rssi_here + self.candidate_margin_db
-            }
-            if candidates:
-                best = max(candidates, key=lambda ap: candidates[ap].rssi_dbm)
+            inputs, aps = self._policy_inputs(ctx)
+            targets, eligible = self.policy.preempt(inputs)
+            if eligible[0]:
                 self._last_roam_s = ctx.now_s
-                return RoamingDecision(target_ap=best, forced=True)
+                return RoamingDecision(target_ap=aps[int(targets[0])], forced=True)
         return self.fallback.decide(ctx)
 
     def reset(self) -> None:

@@ -71,6 +71,11 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_C, "classifier.invalid_samples", "non-finite ToF/CSI samples discarded"),
     TelemetryName(_C, "classifier.mode.*", "verdicts per mobility mode (static/environmental/micro/macro)"),
     TelemetryName(_C, "classifier.tof_gaps", "ToF median periods degraded (sparse or empty)"),
+    TelemetryName(_C, "controller.ap_down", "APs quarantined by the controller"),
+    TelemetryName(_C, "controller.handovers", "handovers issued by the controller policy"),
+    TelemetryName(_C, "controller.pingpong", "handovers straight back to the previous AP"),
+    TelemetryName(_C, "controller.reassociations", "clients evacuated from a dead AP"),
+    TelemetryName(_C, "controller.suppressed", "would-be roams vetoed by the policy"),
     TelemetryName(_C, "events.*", "trace events emitted, per kind"),
     TelemetryName(_C, "faults.*.*.*", "injected-fault statistics: faults.<stream>.<kind>.<stat>"),
     TelemetryName(_C, "feedback_refreshes", "CSI feedback refreshes performed by the stack session"),
@@ -88,6 +93,8 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_C, "tof.medians_discarded", "ToF medians dropped with their degraded period"),
     TelemetryName(_C, "tof.windows_invalidated", "ToF trend windows invalidated by a gap marker"),
     # --------------------------------------------------------------- gauges
+    TelemetryName(_G, "controller.aps_alive", "live APs after the latest controller action"),
+    TelemetryName(_G, "controller.churn", "fraction of the fleet handed over this epoch"),
     TelemetryName(_G, "rate.throughput_mbps", "most recent rate-control throughput"),
     TelemetryName(_G, "roaming.handoffs", "final handoff count of a roaming run"),
     TelemetryName(_G, "roaming.mean_goodput_mbps", "mean goodput of a roaming run"),
@@ -99,6 +106,7 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_G, "stack.scans", "final scan count of a full-stack run"),
     # ----------------------------------------------------------- histograms
     TelemetryName(_H, "channel.elapsed_s", "wall time of one channel evaluation"),
+    TelemetryName(_H, "controller.epoch_s", "wall time of one controller policy epoch"),
     TelemetryName(_H, "phase.elapsed_s", "wall time of one engine phase of one step"),
     TelemetryName(_H, "rate.frame_airtime_s", "airtime of one rate-control frame"),
     TelemetryName(_H, "scheduler.frame_airtime_s", "airtime of one scheduled frame"),
@@ -107,6 +115,9 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_E, "channel_batch", "one batched MultiLinkChannel.evaluate_many call"),
     TelemetryName(_E, "channel_eval", "one scalar LinkChannel evaluation"),
     TelemetryName(_E, "classifier_verdict", "one classifier decision (mode/heading/similarity)"),
+    TelemetryName(_E, "controller_ap_down", "the controller quarantined an AP (ap/reason/evacuees)"),
+    TelemetryName(_E, "controller_epoch", "one controller policy epoch (handovers/ping-pongs/suppressed)"),
+    TelemetryName(_E, "controller_handover", "one issued handover (client, from_ap, to_ap, pingpong)"),
     TelemetryName(_E, "hint_transition", "classifier mode changed between consecutive verdicts"),
     TelemetryName(_E, "phase", "one engine phase of one step (wall time, client count)"),
     TelemetryName(_E, "run_abort", "terminal marker before a SessionError propagates (fail_fast)"),

@@ -9,7 +9,7 @@ and :class:`SchedulingSession` for backwards compatibility.
 
 from repro.channel.model import MultiLinkChannel
 from repro.sim import Session, SimulationEngine
-from repro.wlan.floorplan import Floorplan, default_office_floorplan
+from repro.wlan.floorplan import Floorplan, default_office_floorplan, grid_floorplan
 from repro.wlan.multilink import MultiApChannel, MultiApTraces
 from repro.wlan.scheduler import SchedulingSession, simulate_scheduling
 from repro.wlan.stack import (
@@ -36,6 +36,7 @@ __all__ = [
     "TcpModel",
     "default_office_floorplan",
     "default_stack",
+    "grid_floorplan",
     "mobility_aware_stack",
     "simulate_scheduling",
     "simulate_stack",

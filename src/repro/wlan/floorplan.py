@@ -62,6 +62,36 @@ def default_office_floorplan() -> Floorplan:
     )
 
 
+def grid_floorplan(
+    nx: int = 4, ny: int = 2, spacing_m: float = 18.0, margin_m: float = 6.0
+) -> Floorplan:
+    """``nx x ny`` APs on a regular grid — enterprise-scale deployments.
+
+    The controller experiments need more cells than the six-AP office
+    floor; a grid with ``spacing_m`` between neighbouring APs and
+    ``margin_m`` of floor beyond the outer APs gives an arbitrary-size
+    deployment with uniform cell geometry.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("need at least a 1x1 AP grid")
+    if spacing_m <= 0 or margin_m <= 0:
+        raise ValueError("spacing_m and margin_m must be positive")
+    positions = tuple(
+        Point(margin_m + i * spacing_m, margin_m + j * spacing_m)
+        for j in range(ny)
+        for i in range(nx)
+    )
+    return Floorplan(
+        ap_positions=positions,
+        bounds=(
+            0.0,
+            0.0,
+            2 * margin_m + (nx - 1) * spacing_m,
+            2 * margin_m + (ny - 1) * spacing_m,
+        ),
+    )
+
+
 def single_ap_floorplan(ap: Point = Point(0.0, 0.0), extent: float = 40.0) -> Floorplan:
     """One AP centred in a square floor — the classifier experiments."""
     return Floorplan(

@@ -1,0 +1,502 @@
+"""Unit and integration tests for ``repro.controller``."""
+
+import numpy as np
+import pytest
+
+from repro.controller import (
+    Controller,
+    ControllerConfig,
+    ControllerSession,
+    GoodputTable,
+    HysteresisPolicy,
+    LinkStatsBook,
+    MatrixWindow,
+    MobilityHintPolicy,
+    PolicyInputs,
+    StrongestApPolicy,
+    ap_load,
+    attainable_throughput_mbps,
+)
+from repro.controller.session import ApFailureEvent
+from repro.core.hints import MobilityEstimate
+from repro.experiments import ext_controller
+from repro.mobility.modes import Heading, MobilityMode
+from repro.phy.error import ErrorModel
+from repro.roaming.schemes import ControllerRoaming
+from repro.sim import SimulationEngine, TimeGrid
+from repro.telemetry import TelemetryRecorder
+from repro.wlan.floorplan import grid_floorplan
+
+from tests.test_roaming import FakeContext  # scriptable RoamingContext
+
+
+# ---------------------------------------------------------------- stats
+
+
+class TestMatrixWindow:
+    def test_mean_and_slope_match_numpy(self):
+        rng = np.random.default_rng(1)
+        window = MatrixWindow(3, 2, window=5)
+        slabs = rng.normal(-60.0, 5.0, (5, 3, 2))
+        for slab in slabs:
+            window.push(slab)
+        assert window.full
+        np.testing.assert_allclose(window.mean(), slabs.mean(axis=0))
+        x = np.arange(5.0)
+        expected = np.empty((3, 2))
+        for i in range(3):
+            for j in range(2):
+                expected[i, j] = np.polyfit(x, slabs[:, i, j], 1)[0]
+        np.testing.assert_allclose(window.slope(), expected)
+
+    def test_ring_overwrites_oldest(self):
+        window = MatrixWindow(1, 1, window=2)
+        for value in (1.0, 2.0, 3.0):
+            window.push(np.array([[value]]))
+        assert window.count == 2
+        np.testing.assert_allclose(window.mean(), [[2.5]])
+        np.testing.assert_allclose(window.latest(), [[3.0]])
+
+    def test_slope_zero_until_two_samples(self):
+        window = MatrixWindow(2, 2, window=4)
+        window.push(np.zeros((2, 2)))
+        np.testing.assert_array_equal(window.slope(), np.zeros((2, 2)))
+
+    def test_empty_window_raises(self):
+        window = MatrixWindow(1, 1, window=2)
+        with pytest.raises(ValueError, match="empty"):
+            window.mean()
+
+    def test_shape_mismatch_raises(self):
+        window = MatrixWindow(2, 3, window=2)
+        with pytest.raises(ValueError, match="expected shape"):
+            window.push(np.zeros((3, 2)))
+
+    def test_window_of_one_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            MatrixWindow(1, 1, window=1)
+
+    def test_stats_book_defaults_pdr_to_one(self):
+        book = LinkStatsBook(2, 2, window=3)
+        book.push(np.full((2, 2), -60.0))
+        np.testing.assert_array_equal(book.pdr.latest(), np.ones((2, 2)))
+        assert book.n_pushes == 1
+
+
+# -------------------------------------------------------------- aquamet
+
+
+class TestAquamet:
+    def test_table_matches_error_model_at_grid_points(self):
+        model = ErrorModel()
+        table = GoodputTable(error_model=model)
+        for snr in (0.0, 10.0, 25.0, 40.0):
+            expected = model.expected_goodput_mbps(snr)
+            assert table.goodput_mbps(np.array([snr]))[0] == pytest.approx(expected)
+
+    def test_lookup_clamps_to_range(self):
+        table = GoodputTable()
+        lo, hi = table.goodput_mbps(np.array([-100.0, 100.0]))
+        assert lo == table.goodput_grid_mbps[0]
+        assert hi == table.goodput_grid_mbps[-1]
+
+    def test_ap_load_ignores_unassociated(self):
+        load = ap_load(np.array([0, 0, 1, -1]), 3)
+        np.testing.assert_array_equal(load, [2.0, 1.0, 0.0])
+
+    def test_attainable_divides_by_load(self):
+        goodput = np.array([[100.0, 100.0]])
+        pdr = np.array([[1.0, 0.5]])
+        load = np.array([[4.0, 0.0]])
+        np.testing.assert_allclose(
+            attainable_throughput_mbps(goodput, pdr, load), [[25.0, 50.0]]
+        )
+
+
+# -------------------------------------------------------------- policies
+
+
+def make_inputs(
+    rssi,
+    serving,
+    now_s=100.0,
+    slope=None,
+    alive=None,
+    last_handover_s=None,
+    macro=None,
+    away=None,
+    provisional=None,
+):
+    rssi = np.asarray(rssi, dtype=float)
+    n, a = rssi.shape
+    return PolicyInputs(
+        now_s=now_s,
+        serving=np.asarray(serving, dtype=int),
+        rssi_dbm=rssi,
+        rssi_slope_db=np.zeros((n, a)) if slope is None else np.asarray(slope, float),
+        attainable_mbps=np.zeros((n, a)),
+        alive=np.ones(a, dtype=bool) if alive is None else np.asarray(alive, bool),
+        last_handover_s=(
+            np.full(n, -np.inf) if last_handover_s is None
+            else np.asarray(last_handover_s, float)
+        ),
+        window_full=True,
+        hint_macro=np.zeros(n, bool) if macro is None else np.asarray(macro, bool),
+        hint_away=np.zeros(n, bool) if away is None else np.asarray(away, bool),
+        hint_provisional=(
+            np.zeros(n, bool) if provisional is None
+            else np.asarray(provisional, bool)
+        ),
+    )
+
+
+class TestStrongestApPolicy:
+    def test_always_picks_argmax(self):
+        inputs = make_inputs([[-70.0, -60.0], [-50.0, -65.0]], [0, 0])
+        decision = StrongestApPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1, 0])
+
+    def test_dead_ap_never_target(self):
+        inputs = make_inputs([[-70.0, -60.0]], [0], alive=[True, False])
+        decision = StrongestApPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+
+
+class TestHysteresisPolicy:
+    def test_small_gain_suppressed(self):
+        inputs = make_inputs([[-62.0, -60.0]], [0])
+        decision = HysteresisPolicy(margin_db=3.0).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+        assert decision.n_suppressed == 1
+
+    def test_clear_gain_roams(self):
+        inputs = make_inputs([[-70.0, -60.0]], [0])
+        decision = HysteresisPolicy(margin_db=3.0).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1])
+        assert decision.n_suppressed == 0
+
+    def test_cooldown_suppresses(self):
+        inputs = make_inputs(
+            [[-70.0, -60.0]], [0], now_s=10.0, last_handover_s=[8.0]
+        )
+        decision = HysteresisPolicy(margin_db=3.0, cooldown_s=4.0).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+        assert decision.n_suppressed == 1
+
+    def test_dead_serving_ap_always_evacuated(self):
+        inputs = make_inputs(
+            [[-50.0, -80.0]],
+            [0],
+            alive=[False, True],
+            now_s=10.0,
+            last_handover_s=[9.5],  # cooldown would normally block
+        )
+        decision = HysteresisPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1])
+
+
+class TestMobilityHintPolicy:
+    def test_macro_noise_roam_pinned(self):
+        # 5 dB gain: hysteresis would roam, a settled MACRO client stays.
+        inputs = make_inputs([[-65.0, -60.0]], [0], macro=[True])
+        decision = MobilityHintPolicy(pin_margin_db=8.0).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+        assert decision.n_suppressed == 1
+
+    def test_macro_decisive_roam_allowed(self):
+        inputs = make_inputs([[-72.0, -60.0]], [0], macro=[True])
+        decision = MobilityHintPolicy(pin_margin_db=8.0).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1])
+
+    def test_rescue_floor_unpins(self):
+        inputs = make_inputs([[-80.0, -76.0]], [0], macro=[True])
+        decision = MobilityHintPolicy(
+            pin_margin_db=30.0, rescue_floor_dbm=-78.0
+        ).decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1])
+
+    def test_settled_away_preempts_to_approaching_ap(self):
+        inputs = make_inputs(
+            [[-60.0, -59.0, -58.0]],
+            [0],
+            slope=[[-1.0, 2.0, -0.5]],  # only AP1 is being approached
+            macro=[True],
+            away=[True],
+        )
+        decision = MobilityHintPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [1])
+
+    def test_provisional_away_does_not_preempt(self):
+        """Satellite regression: a tof_window_full=False MACRO/AWAY hint —
+        mobility onset, or the safe default after a sensing quarantine —
+        must not trigger the pre-emptive roam."""
+        inputs = make_inputs(
+            [[-60.0, -59.0]],
+            [0],
+            slope=[[-1.0, 2.0]],
+            macro=[True],
+            away=[True],
+            provisional=[True],
+        )
+        decision = MobilityHintPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+        assert decision.n_suppressed >= 1
+
+    def test_away_without_candidate_falls_back_to_hysteresis(self):
+        inputs = make_inputs(
+            [[-60.0, -59.0]],
+            [0],
+            slope=[[-1.0, -1.0]],  # approaching nothing
+            macro=[True],
+            away=[True],
+        )
+        decision = MobilityHintPolicy().decide(inputs)
+        np.testing.assert_array_equal(decision.targets, [0])
+
+    def test_pin_margin_must_cover_margin(self):
+        with pytest.raises(ValueError, match="pin_margin_db"):
+            MobilityHintPolicy(margin_db=5.0, pin_margin_db=3.0)
+
+
+# ------------------------------------------------------------ controller
+
+
+def feed(controller, rssi, epochs, dt_s=1.0):
+    """Observe ``rssi`` and run an epoch ``epochs`` times; return reports."""
+    return [
+        (
+            controller.observe(float(k) * dt_s, rssi),
+            controller.run_epoch(float(k) * dt_s),
+        )[1]
+        for k in range(epochs)
+    ]
+
+
+class TestController:
+    def test_first_observe_auto_associates_strongest(self):
+        controller = Controller(2, 2, StrongestApPolicy())
+        controller.observe(0.0, np.array([[-70.0, -60.0], [-55.0, -80.0]]))
+        np.testing.assert_array_equal(controller.association, [1, 0])
+        assert controller.totals["handovers"] == 0
+
+    def test_handover_and_pingpong_counting(self):
+        controller = Controller(
+            1, 2, StrongestApPolicy(), config=ControllerConfig(pingpong_window_s=10.0)
+        )
+        controller.observe(0.0, np.array([[-60.0, -70.0]]))
+        controller.run_epoch(0.0)  # stays on AP0
+        controller.observe(1.0, np.array([[-75.0, -60.0]]))
+        controller.run_epoch(1.0)  # roam to AP1
+        controller.observe(2.0, np.array([[-60.0, -75.0]]))
+        controller.run_epoch(2.0)  # straight back: ping-pong
+        assert controller.totals["handovers"] == 2
+        assert controller.totals["pingpong"] == 1
+
+    def test_epoch_before_observe_raises(self):
+        controller = Controller(1, 2, StrongestApPolicy())
+        with pytest.raises(ValueError, match="observe"):
+            controller.run_epoch(0.0)
+
+    def test_update_hint_by_label_and_index(self):
+        controller = Controller(2, 2, MobilityHintPolicy())
+        away = MobilityEstimate(
+            0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True
+        )
+        controller.update_hint("client-1", away)
+        controller.update_hint(0, away)
+        controller.update_hint(0, MobilityEstimate(1.0, MobilityMode.STATIC))
+        controller.observe(2.0, np.full((2, 2), -60.0))
+        snapshot = controller.policy_inputs(2.0)
+        np.testing.assert_array_equal(snapshot.hint_macro, [False, True])
+        np.testing.assert_array_equal(snapshot.hint_provisional, [True, False])
+
+    def test_mark_ap_down_quarantines_and_evacuates(self):
+        controller = Controller(3, 2, HysteresisPolicy())
+        rssi = np.array([[-55.0, -70.0], [-56.0, -71.0], [-80.0, -57.0]])
+        controller.observe(0.0, rssi)
+        controller.run_epoch(0.0)
+        np.testing.assert_array_equal(controller.association, [0, 0, 1])
+        moved = controller.mark_ap_down(1.0, 0, reason="power cut")
+        assert moved == 2
+        np.testing.assert_array_equal(controller.association, [1, 1, 1])
+        record = controller.ap_failures["ap-0"]
+        assert record.exception_type == "ApFailure"
+        assert record.message == "power cut"
+        assert controller.totals["reassociations"] == 2
+        # Idempotent: a second report of the same AP is a no-op.
+        assert controller.mark_ap_down(2.0, 0) == 0
+
+    def test_dead_ap_excluded_from_future_epochs(self):
+        controller = Controller(1, 2, StrongestApPolicy())
+        controller.observe(0.0, np.array([[-55.0, -60.0]]))
+        controller.run_epoch(0.0)
+        controller.mark_ap_down(0.5, 0)
+        controller.observe(1.0, np.array([[-40.0, -60.0]]))  # dead AP looks great
+        controller.run_epoch(1.0)
+        np.testing.assert_array_equal(controller.association, [1])
+
+    def test_telemetry_counters_and_events(self):
+        recorder = TelemetryRecorder()
+        controller = Controller(1, 2, StrongestApPolicy(), recorder=recorder)
+        controller.observe(0.0, np.array([[-60.0, -70.0]]))
+        controller.run_epoch(0.0)
+        controller.observe(1.0, np.array([[-75.0, -60.0]]))
+        controller.run_epoch(1.0)
+        controller.mark_ap_down(2.0, 1)
+        metrics = recorder.metrics
+        assert metrics.counter("controller.handovers").value == 1.0
+        assert metrics.counter("controller.ap_down").value == 1.0
+        assert metrics.counter("controller.reassociations").value == 1.0
+        assert metrics.gauge("controller.aps_alive").value == 1.0
+        kinds = {event.kind for event in recorder.tracer.events}
+        assert {"controller_epoch", "controller_handover", "controller_ap_down"} <= kinds
+
+    def test_latency_zero_without_live_recorder(self):
+        controller = Controller(1, 2, StrongestApPolicy())
+        controller.observe(0.0, np.array([[-60.0, -70.0]]))
+        report = controller.run_epoch(0.0)
+        assert report.latency_s == 0.0
+
+
+class TestControllerSession:
+    def _rssi(self, n_steps, n_clients=2, n_aps=2):
+        rng = np.random.default_rng(3)
+        return rng.normal(-60.0, 3.0, (n_steps, n_clients, n_aps))
+
+    def test_runs_on_engine_and_returns_result(self):
+        controller = Controller(2, 2, HysteresisPolicy())
+        session = ControllerSession(controller, self._rssi(8), epoch_every=2)
+        engine = SimulationEngine(TimeGrid(np.arange(8) * 0.5))
+        engine.add(session)
+        result = engine.run()["controller"]
+        assert result.policy == "hysteresis"
+        assert result.association_timeline.shape == (4, 2)
+        assert len(result.epoch_times) == 4
+
+    def test_grid_mismatch_raises(self):
+        controller = Controller(2, 2, HysteresisPolicy())
+        session = ControllerSession(controller, self._rssi(8))
+        engine = SimulationEngine(TimeGrid(np.arange(9) * 0.5))
+        engine.add(session)
+        with pytest.raises(Exception, match="grid"):
+            engine.run()
+
+    def test_scheduled_ap_failure_fires_once(self):
+        controller = Controller(2, 2, HysteresisPolicy())
+        session = ControllerSession(
+            controller,
+            self._rssi(8),
+            ap_failures=[ApFailureEvent(ap=0, at_s=1.0, reason="boom")],
+        )
+        engine = SimulationEngine(TimeGrid(np.arange(8) * 0.5))
+        engine.add(session)
+        result = engine.run()["controller"]
+        assert set(result.failures) == {"ap-0"}
+        assert result.failures["ap-0"].message == "boom"
+        assert not np.any(result.association_timeline[2:] == 0)
+
+    def test_bad_shape_rejected(self):
+        controller = Controller(2, 2, HysteresisPolicy())
+        with pytest.raises(ValueError, match="rssi_by_step"):
+            ControllerSession(controller, np.zeros((8, 3, 2)))
+
+
+# ---------------------------------------------------- storm integration
+
+
+class TestRoamingStorm:
+    @pytest.fixture(scope="class")
+    def storm(self):
+        return ext_controller.build_storm(
+            24, floorplan=grid_floorplan(), duration_s=20.0, seed=5
+        )
+
+    def test_storm_is_deterministic(self, storm):
+        again = ext_controller.build_storm(
+            24, floorplan=grid_floorplan(), duration_s=20.0, seed=5
+        )
+        np.testing.assert_array_equal(storm.rssi_by_step, again.rssi_by_step)
+        for a, b in zip(storm.tof_readings, again.tof_readings):
+            np.testing.assert_array_equal(a, b)
+
+    def test_policies_run_over_identical_inputs(self, storm):
+        results = ext_controller.compare_policies(storm)
+        assert set(results) == {"strongest", "hysteresis", "mobility-hint"}
+        strongest = results["strongest"]
+        hinted = results["mobility-hint"]
+        assert strongest.totals["suppressed"] == 0
+        assert hinted.totals["handovers"] <= strongest.totals["handovers"]
+        assert hinted.totals["pingpong"] <= strongest.totals["pingpong"]
+        assert hinted.totals["suppressed"] > 0
+
+    def test_report_formats(self, storm):
+        results = ext_controller.compare_policies(storm)
+        report = ext_controller.StormReport(
+            n_clients=storm.n_clients,
+            n_aps=storm.n_aps,
+            duration_s=storm.duration_s,
+            results=results,
+        )
+        text = report.format_report()
+        assert "mobility-hint" in text and "strongest" in text
+
+
+# ------------------------------------------- ControllerRoaming adapter
+
+
+class TestControllerRoamingAdapter:
+    def test_settled_away_hint_forces_roam(self):
+        ctx = FakeContext(
+            rssi={0: -70.0, 1: -65.0},
+            estimate=MobilityEstimate(
+                0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True
+            ),
+            headings={0: Heading.AWAY, 1: Heading.TOWARDS},
+        )
+        decision = ControllerRoaming().decide(ctx)
+        assert decision.target_ap == 1
+        assert decision.forced
+
+    def test_provisional_away_hint_never_forces_roam(self):
+        """Satellite regression: at mobility onset the trend window has not
+        filled, so the MACRO/AWAY estimate is provisional — the adapter
+        must fall through to default behaviour instead of pre-empting
+        (the forced roam + immediate strongest-AP correction used to
+        ping-pong the client)."""
+        ctx = FakeContext(
+            rssi={0: -60.0, 1: -55.0},
+            estimate=MobilityEstimate(
+                0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=False
+            ),
+            headings={0: Heading.AWAY, 1: Heading.TOWARDS},
+        )
+        decision = ControllerRoaming().decide(ctx)
+        assert not decision.forced
+        assert ctx.scan_count == 0  # signal is fine: fallback does nothing
+
+    def test_shares_policy_candidate_rule(self):
+        scheme = ControllerRoaming(candidate_margin_db=2.0)
+        assert isinstance(scheme.policy, MobilityHintPolicy)
+        assert scheme.policy.preempt_margin_db == 2.0
+        ctx = FakeContext(
+            rssi={0: -60.0, 1: -59.0},  # 1 dB better: below the margin
+            estimate=MobilityEstimate(
+                0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True
+            ),
+            headings={0: Heading.AWAY, 1: Heading.TOWARDS},
+        )
+        assert not scheme.decide(ctx).forced
+
+    def test_reset_clears_cooldown(self):
+        scheme = ControllerRoaming(roam_cooldown_s=5.0)
+        ctx = FakeContext(
+            rssi={0: -70.0, 1: -65.0},
+            estimate=MobilityEstimate(
+                0.0, MobilityMode.MACRO, Heading.AWAY, tof_window_full=True
+            ),
+            headings={0: Heading.AWAY, 1: Heading.TOWARDS},
+        )
+        assert scheme.decide(ctx).forced
+        assert not scheme.decide(ctx).forced  # cooldown
+        scheme.reset()
+        assert scheme.decide(ctx).forced

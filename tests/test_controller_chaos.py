@@ -1,0 +1,81 @@
+"""Chaos test: killing an AP mid-storm quarantines it, reassociates its
+clients, and leaves every surviving client's run bit-identical.
+
+The determinism argument this pins: every policy decision is an argmax
+over per-client rows, so masking the dead AP's column can only change
+the outcome for clients that would have *selected* that column.  A
+client whose fault-free association timeline never touches the dead AP
+("survivor") therefore makes exactly the same decisions — epoch by
+epoch, bit for bit — whether the AP died or not.
+"""
+
+import numpy as np
+
+from repro.controller import MobilityHintPolicy
+from repro.controller.session import ApFailureEvent
+from repro.experiments import ext_controller
+from repro.telemetry import TelemetryRecorder, write_failure_report
+from repro.wlan.floorplan import grid_floorplan
+
+DEAD_AP = 3
+FAIL_AT_S = 8.0
+
+
+def _storm():
+    return ext_controller.build_storm(
+        40, floorplan=grid_floorplan(), duration_s=24.0, seed=11
+    )
+
+
+class TestApFailureChaos:
+    @classmethod
+    def setup_class(cls):
+        inputs = _storm()
+        cls.baseline = ext_controller.run_storm(inputs, MobilityHintPolicy())
+        cls.recorder = TelemetryRecorder()
+        cls.faulty = ext_controller.run_storm(
+            inputs,
+            MobilityHintPolicy(),
+            ap_failures=[
+                ApFailureEvent(ap=DEAD_AP, at_s=FAIL_AT_S, reason="chaos kill")
+            ],
+            recorder=cls.recorder,
+        )
+        cls.timeline = cls.baseline.association_timeline
+        cls.survivors = ~np.any(cls.timeline == DEAD_AP, axis=0)
+
+    def test_scenario_exercises_the_dead_ap(self):
+        # The kill must actually strand someone, and most of the fleet
+        # must be unaffected, or the test proves nothing.
+        n_survivors = int(np.count_nonzero(self.survivors))
+        assert 0 < n_survivors < self.timeline.shape[1]
+        assert n_survivors >= self.timeline.shape[1] // 2
+
+    def test_dead_ap_is_quarantined(self):
+        record = self.faulty.failures[f"ap-{DEAD_AP}"]
+        assert record.exception_type == "ApFailure"
+        assert record.message == "chaos kill"
+        assert self.recorder.metrics.counter("controller.ap_down").value == 1.0
+        n_aps = grid_floorplan().n_aps
+        assert self.recorder.metrics.gauge("controller.aps_alive").value == n_aps - 1
+
+    def test_stranded_clients_reassociate(self):
+        epochs = np.asarray(self.faulty.epoch_times)
+        after = self.faulty.association_timeline[epochs >= FAIL_AT_S]
+        assert not np.any(after == DEAD_AP)
+        assert self.faulty.totals["reassociations"] > 0
+        assert (
+            self.recorder.metrics.counter("controller.reassociations").value
+            == self.faulty.totals["reassociations"]
+        )
+
+    def test_survivors_are_bit_identical(self):
+        baseline = self.timeline[:, self.survivors]
+        faulty = self.faulty.association_timeline[:, self.survivors]
+        np.testing.assert_array_equal(baseline, faulty)
+
+    def test_failure_report_round_trips(self, tmp_path):
+        path = tmp_path / "controller_failures.json"
+        write_failure_report(self.faulty.failures, path)
+        text = path.read_text(encoding="utf-8")
+        assert "ApFailure" in text and "chaos kill" in text
