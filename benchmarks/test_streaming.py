@@ -1,0 +1,176 @@
+"""Streaming ingestion service benchmarks: throughput and offer latency.
+
+The batch engine benches (``test_performance.py``) time whole cohort
+runs; here the same classifier workload goes through the
+:class:`repro.stream.StreamRouter` service loop — one ``offer()`` per
+observation, ``advance()`` trailing the arrivals — the way a deployed
+ingestion daemon would drive it.  The sweep scales the fleet to 1024
+concurrent sessions and records, per fleet size:
+
+* sustained throughput (observations/sec and session-steps/sec),
+* per-``offer()`` ingest latency percentiles (p50/p99),
+* the loss counters, asserted zero — a nominally provisioned sweep must
+  ingest losslessly.
+
+Results land in ``BENCH_streaming.json`` at the repo root (uploaded as a
+CI artifact next to ``BENCH_engine_scaling.json``).
+
+Wall-clock timing here is the *point* of the module, not a REP002 leak:
+benchmarks are exempt (they measure the host, not simulated time).
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedMobilityClassifier
+from repro.stream import FleetSpec, SimulatedSource, StreamConfig, StreamRouter
+from repro.telemetry.recorder import TelemetryRecorder
+
+#: Machine-readable streaming results, written once every fleet size has
+#: run (consumed by CI as an artifact, mirroring BENCH_engine_scaling).
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
+_FLEET_SIZES = (64, 256, 1024)
+_DURATION_S = 10.0
+_streaming_results = {}
+
+#: Counters that would reveal a lost observation in the nominal sweep.
+_LOSS_COUNTERS = (
+    "stream.blocked",
+    "stream.dropped",
+    "stream.shed",
+    "stream.shed_sessions",
+    "stream.late",
+    "stream.unknown_client",
+)
+
+
+def _counter_total(recorder, name):
+    from repro.telemetry.metrics import CounterMetric
+
+    return sum(
+        metric.value
+        for metric in recorder.metrics.metrics()
+        if isinstance(metric, CounterMetric) and metric.name == name
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_sources():
+    cache = {}
+
+    def build(n_sessions):
+        if n_sessions not in cache:
+            spec = FleetSpec(n_clients=n_sessions, duration_s=_DURATION_S)
+            source = SimulatedSource(spec, seed=17)
+            cache[n_sessions] = (spec, source, list(source))
+        return cache[n_sessions]
+
+    return build
+
+
+def _service_loop(source_events, router, config, latencies_out=None):
+    """The ingestion daemon's inner loop: offer, then trail with advance."""
+    end_s = config.start_s + (config.horizon_steps - 1) * config.dt_s
+    if latencies_out is None:
+        for observation in source_events:
+            router.offer(observation)
+            router.advance(observation.time_s - config.dt_s)
+    else:
+        for observation in source_events:
+            t0 = perf_counter()
+            router.offer(observation)
+            latencies_out.append(perf_counter() - t0)
+            router.advance(observation.time_s - config.dt_s)
+    router.advance(end_s)
+    return router
+
+
+def _record_streaming_result(n_sessions, spec, n_observations, elapsed_s, latencies):
+    ordered = np.sort(np.asarray(latencies))
+    entry = {
+        "n_sessions": n_sessions,
+        "n_steps": spec.n_steps,
+        "n_observations": n_observations,
+        "elapsed_s": float(elapsed_s),
+        "observations_per_s": float(n_observations / elapsed_s),
+        "session_steps_per_s": float(n_sessions * spec.n_steps / elapsed_s),
+        "offer_p50_us": float(np.percentile(ordered, 50) * 1e6),
+        "offer_p99_us": float(np.percentile(ordered, 99) * 1e6),
+    }
+    _streaming_results[n_sessions] = entry
+    if all(n in _streaming_results for n in _FLEET_SIZES):
+        payload = {
+            "benchmark": "streaming_ingestion_service",
+            "grid_dt_s": spec.csi_period_s,
+            "duration_s": _DURATION_S,
+            "results": [_streaming_results[n] for n in _FLEET_SIZES],
+        }
+        BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("n_sessions", list(_FLEET_SIZES))
+def test_perf_streaming_ingestion(fleet_sources, n_sessions):
+    """Throughput + offer latency of the full service loop, per fleet size.
+
+    Nominal provisioning (block policy, queues sized for one step of ToF
+    backlog) must ingest the whole trace losslessly — any non-zero loss
+    counter fails the sweep.
+    """
+    spec, source, events = fleet_sources(n_sessions)
+    config = StreamConfig(
+        dt_s=spec.csi_period_s,
+        horizon_steps=spec.n_steps,
+        queue_capacity=max(64, 2 * int(spec.csi_period_s / spec.tof_interval_s) + 2),
+        backpressure="block",
+    )
+    recorder = TelemetryRecorder(capacity=1024)
+    classifier = BatchedMobilityClassifier(source.labels)
+    router = StreamRouter(classifier, config=config, recorder=recorder)
+
+    latencies = []
+    started = perf_counter()
+    _service_loop(events, router, config, latencies_out=latencies)
+    elapsed_s = perf_counter() - started
+
+    _record_streaming_result(n_sessions, spec, len(events), elapsed_s, latencies)
+
+    # Lossless ingestion: every observation accepted, nothing counted lost.
+    assert _counter_total(recorder, "stream.accepted") == len(events)
+    for name in _LOSS_COUNTERS:
+        assert _counter_total(recorder, name) == 0, f"{name} != 0 in nominal sweep"
+
+    # The classifier actually ran: every session produced its estimates.
+    results = router.results()
+    assert len(results) == n_sessions
+    assert all(len(estimates) == spec.n_steps - 1 for estimates in results.values())
+
+    entry = _streaming_results[n_sessions]
+    print(
+        f"\n[streaming] {n_sessions} sessions: "
+        f"{entry['observations_per_s']:.0f} obs/s, "
+        f"{entry['session_steps_per_s']:.0f} session-steps/s, "
+        f"offer p50 {entry['offer_p50_us']:.1f} us / p99 {entry['offer_p99_us']:.1f} us"
+    )
+
+
+def test_streaming_bench_artifact_schema():
+    """The artifact CI uploads has the fields the dashboards key on."""
+    if not BENCH_JSON_PATH.exists():
+        pytest.skip("streaming sweep has not written BENCH_streaming.json yet")
+    payload = json.loads(BENCH_JSON_PATH.read_text())
+    assert payload["benchmark"] == "streaming_ingestion_service"
+    sizes = [entry["n_sessions"] for entry in payload["results"]]
+    assert sizes == sorted(sizes) and sizes[-1] >= 1000
+    for entry in payload["results"]:
+        for key in (
+            "n_observations",
+            "observations_per_s",
+            "session_steps_per_s",
+            "offer_p50_us",
+            "offer_p99_us",
+        ):
+            assert key in entry, f"missing {key}"

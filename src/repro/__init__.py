@@ -66,7 +66,7 @@ from repro.telemetry import (
 )
 from repro.util.geometry import Point
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "NULL_RECORDER",

@@ -40,6 +40,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro.telemetry",
     "repro.core",
     "repro.controller",
+    "repro.stream",
 )
 
 #: Default baseline location, resolved relative to the repo root / cwd.

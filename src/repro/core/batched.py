@@ -40,7 +40,7 @@ stream is identical.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.core.similarity import batched_pair_similarity, prepare_csi_gains
 from repro.core.tof_trend import ToFTrend, ToFTrendConfig
 from repro.mobility.modes import Heading, MobilityMode
 from repro.telemetry.recorder import NULL_RECORDER, Recorder
-from repro.util.filters import TimedMedianFilter
+from repro.util.filters import MedianBatch, TimedMedianFilter
 
 #: Classifier configuration lives in :mod:`repro.core.classifier`; imported
 #: lazily there to avoid a module cycle (classifier imports this module).
@@ -106,6 +106,18 @@ class _RingBuffer:
     def row_values(self, i: int) -> List[float]:
         row = self.ordered(np.array([i]))[0]
         return [float(v) for v in row[: int(self.count[i])]]
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "values": self.values.copy(),
+            "count": self.count.copy(),
+            "pos": self.pos.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.values[...] = state["values"]
+        self.count[...] = state["count"]
+        self.pos[...] = state["pos"]
 
 
 class BatchedMedianFilter:
@@ -174,6 +186,13 @@ class BatchedMedianFilter:
 
     def reset_rows(self, rows: np.ndarray) -> None:
         self.fill[rows] = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"buffer": self.buffer.copy(), "fill": self.fill.copy()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.buffer[...] = state["buffer"]
+        self.fill[...] = state["fill"]
 
 
 class BatchedToFTrendDetector:
@@ -313,6 +332,44 @@ class BatchedToFTrendDetector:
                 self.last_closed[int(i)] = []
         self._window.clear_rows(rows)
         self.trend[rows] = 0
+
+    # ---------------------------------------------------------- checkpoints
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything mutable, as plain values; config is *not* included
+        (the owner reconstructs the detector from its own config record)."""
+        return {
+            "median": self._median.state_dict(),
+            "timed": (
+                [f.state_dict() for f in self._timed] if self._timed is not None else None
+            ),
+            "window": self._window.state_dict(),
+            "trend": self.trend.copy(),
+            "n_gaps": self.n_gaps.copy(),
+            "n_medians_discarded": self.n_medians_discarded.copy(),
+            "n_windows_invalidated": self.n_windows_invalidated.copy(),
+            "last_closed": [
+                [(b.start_s, b.end_s, b.median, b.n_samples) for b in closed]
+                for closed in self.last_closed
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._median.load_state_dict(state["median"])
+        timed_state = state["timed"]
+        if (timed_state is None) != (self._timed is None):
+            raise ValueError("checkpoint time-awareness disagrees with this config")
+        if self._timed is not None and timed_state is not None:
+            for f, s in zip(self._timed, timed_state):
+                f.load_state_dict(s)
+        self._window.load_state_dict(state["window"])
+        self.trend[...] = state["trend"]
+        self.n_gaps[...] = state["n_gaps"]
+        self.n_medians_discarded[...] = state["n_medians_discarded"]
+        self.n_windows_invalidated[...] = state["n_windows_invalidated"]
+        self.last_closed = [
+            [MedianBatch(*fields) for fields in closed] for closed in state["last_closed"]
+        ]
 
 
 class BatchedMobilityClassifier:
@@ -657,6 +714,61 @@ class BatchedMobilityClassifier:
                         from_mode=previous.mode.value,
                         to_mode=estimate.mode.value,
                     )
+
+    # ---------------------------------------------------------- checkpoints
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of the cohort's full mutable state.
+
+        Loading it into a classifier freshly built with the *same*
+        ``clients`` and ``config`` resumes the stream bit-identically —
+        the checkpoint/resume contract the streaming service relies on.
+        Configuration is deliberately excluded: the owner records it
+        (:mod:`repro.stream.checkpoint` versions the artifact) and
+        reconstructs before loading.
+        """
+        return {
+            "detector": self._detector.state_dict(),
+            "smooth": self._smooth.state_dict(),
+            "prev": None if self._prev is None else self._prev.copy(),
+            "sample_shape": self._sample_shape,
+            "has_prev": self._has_prev.copy(),
+            "last_time": self._last_time.copy(),
+            "tof_active": self._tof_active.copy(),
+            "estimates": [
+                None if e is None else e.to_dict() for e in self._estimates
+            ],
+            "history": (
+                None
+                if self._history is None
+                else [[e.to_dict() for e in row] for row in self._history]
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._detector.load_state_dict(state["detector"])
+        self._smooth.load_state_dict(state["smooth"])
+        self._sample_shape = (
+            None if state["sample_shape"] is None else tuple(state["sample_shape"])
+        )
+        prev = state["prev"]
+        self._prev = None if prev is None else np.array(prev, dtype=float)
+        self._has_prev[...] = state["has_prev"]
+        self._last_time[...] = state["last_time"]
+        self._tof_active[...] = state["tof_active"]
+        self._estimates = [
+            None if e is None else MobilityEstimate.from_dict(e)
+            for e in state["estimates"]
+        ]
+        history = state["history"]
+        if history is not None:
+            if self._history is None:
+                raise ValueError(
+                    "checkpoint has history but cohort built with record_history=False"
+                )
+            self._history = [
+                [MobilityEstimate.from_dict(e) for e in row] for row in history
+            ]
 
     def reset(self, rows: Optional[np.ndarray] = None) -> None:
         """Forget everything for ``rows`` (default: the whole cohort)."""

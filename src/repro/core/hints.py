@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.mobility.modes import Heading, MobilityMode
 
@@ -43,6 +43,27 @@ class MobilityEstimate:
     @property
     def moving_towards(self) -> bool:
         return self.mode == MobilityMode.MACRO and self.heading == Heading.TOWARDS
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-value form for checkpoints/exports; see :meth:`from_dict`."""
+        return {
+            "time_s": self.time_s,
+            "mode": self.mode.value,
+            "heading": self.heading.value,
+            "csi_similarity": self.csi_similarity,
+            "tof_window_full": self.tof_window_full,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MobilityEstimate":
+        """Rebuild the exact estimate :meth:`to_dict` serialized."""
+        return cls(
+            time_s=data["time_s"],
+            mode=MobilityMode(data["mode"]),
+            heading=Heading(data["heading"]),
+            csi_similarity=data["csi_similarity"],
+            tof_window_full=data["tof_window_full"],
+        )
 
 
 def safe_default_hint(time_s: float) -> MobilityEstimate:

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Tuple
 from repro.experiments import (
     ext_controller,
     ext_speed_sensitivity,
+    ext_streaming,
     ext_threshold_sweep,
     fig01_rssi,
     fig02_csi,
@@ -112,6 +113,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         "Extension: multi-AP controller roaming storm, per handover policy",
         lambda: ext_controller.run(n_clients=200, duration_s=60.0),
         lambda: ext_controller.run(n_clients=60, duration_s=30.0),
+    ),
+    "stream": (
+        "Extension: streaming ingestion sweep (equivalence, resume, losses)",
+        lambda: ext_streaming.run(n_clients=256, duration_s=30.0),
+        lambda: ext_streaming.run(n_clients=64, duration_s=20.0),
     ),
 }
 

@@ -28,6 +28,8 @@ from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
+
 #: Record code of a beamforming (CSI) measurement.
 BFEE_CODE = 0xBB
 #: The Intel 5300 reports 30 subcarrier groups regardless of bandwidth.
@@ -223,26 +225,68 @@ def write_csitool_log(records: Iterable[CsiRecord], path: Union[str, os.PathLike
             handle.write(payload)
 
 
+#: ``records_to_csi_stream`` policies for out-of-order capture timestamps.
+NONMONOTONIC_POLICIES = ("skip", "raise")
+
+
 def records_to_csi_stream(
     records: Iterable[CsiRecord],
     scaled: bool = True,
+    nonmonotonic: str = "skip",
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Convert records to (times_s, [csi matrices]) for the classifier.
 
     Handles the 32-bit microsecond timestamp wrap-around.  The matrices
     are ``(30, n_tx, n_rx)`` — the classifier's similarity metric accepts
     any subcarrier count.
+
+    Real captures contain more timestamp pathologies than the full-counter
+    wrap: a duplicated or slightly *backwards* ``timestamp_low`` (driver
+    reordering, interrupted DMA) is far too small a jump to register as a
+    wrap, and previously flowed through silently — handing the time-aware
+    median/similarity pipeline a non-monotonic clock.  ``nonmonotonic``
+    picks the policy:
+
+    * ``"skip"`` (default) — drop the offending record, count it under the
+      ``io.csitool.nonmonotonic`` telemetry name, and keep the last *good*
+      record as the wrap/monotonicity reference so one corrupt timestamp
+      cannot poison wrap detection for the rest of the trace;
+    * ``"raise"`` — fail with :class:`ValueError` naming the record index
+      (for pipelines that prefer to reject the capture outright).
+
+    Genuine wraps (a drop of more than half the 32-bit range) still extend
+    the reconstructed clock, exactly as before.
     """
+    if nonmonotonic not in NONMONOTONIC_POLICIES:
+        raise ValueError(
+            f"nonmonotonic must be one of {NONMONOTONIC_POLICIES}, got {nonmonotonic!r}"
+        )
     times: List[float] = []
     matrices: List[np.ndarray] = []
     wrap_offset = 0
     previous_raw = None
-    for record in records:
+    previous_us = None
+    for index, record in enumerate(records):
         raw = record.timestamp_low
+        offset = wrap_offset
         if previous_raw is not None and raw < previous_raw - 2**31:
-            wrap_offset += 2**32
+            offset += 2**32
+        unwrapped_us = raw + offset
+        if previous_us is not None and unwrapped_us <= previous_us:
+            # Duplicate or small-backwards timestamp: out-of-order capture,
+            # not a wrap.  The reference stays at the last accepted record.
+            if nonmonotonic == "raise":
+                raise ValueError(
+                    f"non-monotonic timestamp_low at record {index}: "
+                    f"{raw} after {previous_raw} (out-of-order capture)"
+                )
+            recorder.count("io.csitool.nonmonotonic")
+            continue
+        wrap_offset = offset
         previous_raw = raw
-        times.append((raw + wrap_offset) / 1e6)
+        previous_us = unwrapped_us
+        times.append(unwrapped_us / 1e6)
         matrices.append(record.scaled_csi() if scaled else record.csi)
     if times:
         start = times[0]

@@ -16,6 +16,7 @@ Failure containment is configured per run through
 
 from repro.sim.engine import (
     PHASES,
+    EngineStepper,
     Session,
     SessionError,
     SimulationEngine,
@@ -29,6 +30,7 @@ __all__ = [
     "PHASES",
     "POLICIES",
     "BatchedSensingSession",
+    "EngineStepper",
     "FailureRecord",
     "SensingSession",
     "Session",

@@ -61,23 +61,57 @@ class TimeGrid:
 
     ``fallback_dt_s`` is only consulted when the grid has a single sample
     (a degenerate run still needs a step width for its one window).
+    ``dt_s`` optionally names the *exact* nominal step — when the caller
+    knows it (:meth:`regular` does), that beats inferring it from the
+    first diff, whose float64 representation error grows with the
+    anchor's magnitude.
     """
 
-    def __init__(self, times: np.ndarray, fallback_dt_s: float = 0.1) -> None:
+    def __init__(
+        self,
+        times: np.ndarray,
+        fallback_dt_s: float = 0.1,
+        dt_s: Optional[float] = None,
+    ) -> None:
         times = np.asarray(times, dtype=float)
         if times.ndim != 1 or len(times) == 0:
             raise ValueError("grid needs a one-dimensional, non-empty time array")
         if len(times) > 1:
             steps = np.diff(times)
-            dt = float(steps[0])
+            dt = float(steps[0]) if dt_s is None else float(dt_s)
             if dt <= 0:
                 raise ValueError("grid times must be increasing")
-            if np.any(np.abs(steps - dt) > 1e-9):
+            # Uniformity tolerance must scale with the grid's magnitude: a
+            # float64 carries ~eps * |t| of representation error per sample,
+            # so epoch-anchored grids (CSI-replay timestamps, long streaming
+            # runs) legitimately show step jitter far above any absolute
+            # threshold.  The 1e-9 floor preserves the historical acceptance
+            # set for small grids.
+            scale = max(abs(float(times[0])), abs(float(times[-1])), abs(dt))
+            tolerance = max(1e-9, 32.0 * float(np.finfo(np.float64).eps) * scale)
+            if np.any(np.abs(steps - dt) > tolerance):
                 raise ValueError("grid times must be uniformly spaced")
         else:
-            dt = float(fallback_dt_s)
+            dt = float(fallback_dt_s) if dt_s is None else float(dt_s)
         self.times = times
         self.dt_s = dt
+
+    @classmethod
+    def regular(cls, start_s: float, dt_s: float, n_steps: int) -> "TimeGrid":
+        """A grid of ``n_steps`` samples at exactly ``start_s + i * dt_s``.
+
+        Built arithmetically (index times step, not accumulation), so long
+        service grids — the streaming router's horizon — carry no drift
+        beyond float64 representation error.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be positive, got {dt_s}")
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        return cls(
+            start_s + np.arange(n_steps, dtype=float) * float(dt_s),
+            dt_s=float(dt_s),
+        )
 
     def __len__(self) -> int:
         return len(self.times)
@@ -229,6 +263,29 @@ class Session:
         called from a guarded context: raising here cannot abort the run.
         """
 
+    # ----------------------------------------------------------- checkpointing
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of this session's mutable state.
+
+        Sessions that participate in checkpoint/resume (see
+        :mod:`repro.stream`) override this pair; the contract is that
+        ``load_state_dict(state_dict())`` into a freshly-constructed
+        session restores it *bit-identically* — subsequent phase calls
+        produce exactly the output of the uninterrupted session.  The
+        returned mapping must contain only plain Python values and numpy
+        arrays (no live object references).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint/resume"
+        )
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint/resume"
+        )
+
 
 class SessionError(RuntimeError):
     """A session failed mid-run; names the client, phase, and step time."""
@@ -316,15 +373,15 @@ class SimulationEngine:
         error.__cause__ = exc
         return error
 
-    def run(self) -> Dict[str, Any]:
-        """Run every session over the whole grid; ``{client: finish()}``.
+    def begin(self) -> "EngineStepper":
+        """Start a run without driving it: returns the incremental driver.
 
-        Under the default ``fail_fast`` supervisor policy any session
-        failure propagates as :class:`SessionError` (after emitting a
-        terminal ``run_abort`` trace event).  Under ``isolate``/``retry``
-        the run always completes: quarantined clients map to their
-        :class:`repro.sim.FailureRecord` in the returned dict, and every
-        surviving client's result is bit-identical to a fault-free run.
+        :meth:`run` is ``begin()`` + step-to-exhaustion + ``finalize()``;
+        callers that interleave the grid walk with outside work — the
+        streaming ingestion router (:mod:`repro.stream`), checkpoint
+        resume — hold the :class:`EngineStepper` and call
+        :meth:`EngineStepper.step` themselves.  Session ``start`` hooks
+        run here (supervised start failures are absorbed per policy).
         """
         if not self._sessions:
             raise ValueError("no sessions registered; add() at least one")
@@ -350,21 +407,24 @@ class SimulationEngine:
             )
         supervisor = Supervisor(self.supervisor_config, recorder)
         self._supervisor = supervisor
-        if self.supervisor_config.fail_fast:
-            try:
-                return self._run_fail_fast(recorder, live)
-            except SessionError as error:
-                if live:
-                    # Terminal marker: a trace must never just stop.
-                    recorder.event(
-                        "run_abort",
-                        error.time_s,
-                        client=error.client,
-                        phase=error.phase,
-                        step=self.grid.index_at(error.time_s),
-                    )
-                raise
-        return self._run_supervised(supervisor, recorder, live)
+        stepper = EngineStepper(self, recorder, live, supervisor)
+        stepper._start_sessions()
+        return stepper
+
+    def run(self) -> Dict[str, Any]:
+        """Run every session over the whole grid; ``{client: finish()}``.
+
+        Under the default ``fail_fast`` supervisor policy any session
+        failure propagates as :class:`SessionError` (after emitting a
+        terminal ``run_abort`` trace event).  Under ``isolate``/``retry``
+        the run always completes: quarantined clients map to their
+        :class:`repro.sim.FailureRecord` in the returned dict, and every
+        surviving client's result is bit-identical to a fault-free run.
+        """
+        stepper = self.begin()
+        while not stepper.done:
+            stepper.step()
+        return stepper.finalize()
 
     @staticmethod
     def _collect_result(results: Dict[str, Any], session: Session, value: Any) -> None:
@@ -378,104 +438,6 @@ class SimulationEngine:
             results.update(value)
         else:
             results[session.client] = value
-
-    def _run_fail_fast(self, recorder: Recorder, live: bool) -> Dict[str, Any]:
-        """The historical strict loop: first failure aborts everything."""
-        for session in self._sessions:
-            self._guarded(session, "start", self.grid.start_s, lambda s=session: s.start(self.grid))
-        n_clients = sum(s.n_active_clients for s in self._sessions) if live else 0
-        for index in range(len(self.grid)):
-            clock = self.grid.clock(index)
-            for phase in self.phases:
-                t0 = perf_counter() if live else 0.0
-                for session in self._sessions:
-                    self._guarded(
-                        session, phase, clock.start_s, lambda s=session, p=phase: getattr(s, p)(clock)
-                    )
-                if live:
-                    recorder.phase_time(
-                        phase, index, clock.start_s, perf_counter() - t0, n_clients=n_clients
-                    )
-        results: Dict[str, Any] = {}
-        for session in self._sessions:
-            value = self._guarded(
-                session, "finish", self.grid.end_s, lambda s=session: s.finish()
-            )
-            self._collect_result(results, session, value)
-        if live:
-            recorder.event("run_end", self.grid.end_s, n_steps=len(self.grid))
-        return results
-
-    def _run_supervised(
-        self, supervisor: Supervisor, recorder: Recorder, live: bool
-    ) -> Dict[str, Any]:
-        """The contained loop: failing sessions retry or quarantine, the
-        rest run to completion with their phase schedule untouched."""
-        grid = self.grid
-        by_client: Dict[str, Session] = {}
-        for session in self._sessions:
-            by_client[session.client] = session
-            for member in session.clients:
-                by_client.setdefault(member, session)
-        for session in self._sessions:
-            try:
-                session.start(grid)
-            except Exception as exc:
-                supervisor.on_failure(
-                    session, self._session_error(session, "start", grid.start_s, exc), step=0
-                )
-        for index in range(len(grid)):
-            clock = grid.clock(index)
-            supervisor.begin_step(clock, by_client, grid)
-            n_clients = (
-                sum(
-                    s.n_active_clients
-                    for s in self._sessions
-                    if supervisor.active(s.client)
-                )
-                if live
-                else 0
-            )
-            for phase in self.phases:
-                t0 = perf_counter() if live else 0.0
-                for session in self._sessions:
-                    if not supervisor.active(session.client):
-                        continue
-                    try:
-                        getattr(session, phase)(clock)
-                    except Exception as exc:
-                        supervisor.on_failure(
-                            session,
-                            self._session_error(session, phase, clock.start_s, exc),
-                            step=index,
-                        )
-                if live:
-                    recorder.phase_time(
-                        phase, index, clock.start_s, perf_counter() - t0, n_clients=n_clients
-                    )
-        results: Dict[str, Any] = {}
-        last_step = len(grid) - 1
-        for session in self._sessions:
-            record = supervisor.quarantined.get(session.client)
-            if record is not None:
-                results[session.client] = record
-                continue
-            try:
-                self._collect_result(results, session, session.finish())
-            except Exception as exc:
-                results[session.client] = supervisor.on_failure(
-                    session,
-                    self._session_error(session, "finish", grid.end_s, exc),
-                    step=last_step,
-                )
-        if live:
-            recorder.event(
-                "run_end",
-                grid.end_s,
-                n_steps=len(grid),
-                n_quarantined=supervisor.n_quarantined,
-            )
-        return results
 
     # ------------------------------------------------------------ multi-client
 
@@ -533,3 +495,221 @@ class SimulationEngine:
         for index, trace in enumerate(traces):
             engine.add(session_factory(index, trace))
         return engine
+
+
+class EngineStepper:
+    """Incremental driver over one engine run: ``begin → step* → finalize``.
+
+    Owns the walk of the grid that :meth:`SimulationEngine.run` used to do
+    in one piece, so callers can interleave stepping with outside work —
+    the streaming router advances the world exactly as far as its ingested
+    observations allow, and checkpoint resume re-enters mid-grid via
+    :meth:`skip_to`.  Behaviour per step is identical to ``run()``: the
+    same phase order, the same supervision semantics, the same telemetry
+    events (``run()`` itself is implemented on top of this class, which is
+    what keeps the two bit-identical by construction).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        recorder: Recorder,
+        live: bool,
+        supervisor: Supervisor,
+    ) -> None:
+        self.engine = engine
+        self.recorder = recorder
+        self.live = live
+        self.supervisor = supervisor
+        self.fail_fast = engine.supervisor_config.fail_fast
+        self._next = 0
+        self._finalized = False
+        self._by_client: Dict[str, Session] = {}
+        for session in engine._sessions:
+            self._by_client[session.client] = session
+            for member in session.clients:
+                self._by_client.setdefault(member, session)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def next_index(self) -> int:
+        """Index of the grid step the next :meth:`step` call will run."""
+        return self._next
+
+    @property
+    def done(self) -> bool:
+        """True once the whole grid has been stepped (or skipped) past."""
+        return self._next >= len(self.engine.grid)
+
+    def next_clock(self) -> StepClock:
+        """The clock of the upcoming step (raises once :attr:`done`)."""
+        if self.done:
+            raise RuntimeError("grid exhausted; finalize() the run")
+        return self.engine.grid.clock(self._next)
+
+    # ------------------------------------------------------------- stepping
+
+    def skip_to(self, index: int) -> None:
+        """Reposition the walk without running the skipped steps.
+
+        Checkpoint resume only: the skipped steps' effects must already be
+        present in the sessions' restored state (see
+        :meth:`Session.load_state_dict`); skipping live steps in any other
+        situation silently drops simulation work.
+        """
+        if not 0 <= index <= len(self.engine.grid):
+            raise ValueError(
+                f"step index {index} outside the {len(self.engine.grid)}-step grid"
+            )
+        self._next = index
+
+    def step(self) -> None:
+        """Run one grid step (all four phases, every session)."""
+        if self._finalized:
+            raise RuntimeError("run already finalized")
+        if self.done:
+            raise RuntimeError("grid exhausted; finalize() the run")
+        clock = self.engine.grid.clock(self._next)
+        self._next += 1
+        if self.fail_fast:
+            try:
+                self._step_fail_fast(clock)
+            except SessionError as error:
+                self._abort(error)
+                raise
+        else:
+            self._step_supervised(clock)
+
+    def finalize(self) -> Dict[str, Any]:
+        """Collect every session's ``finish()``; ``{client: result}``."""
+        if self._finalized:
+            raise RuntimeError("run already finalized")
+        self._finalized = True
+        engine = self.engine
+        grid = engine.grid
+        results: Dict[str, Any] = {}
+        if self.fail_fast:
+            try:
+                for session in engine._sessions:
+                    value = engine._guarded(
+                        session, "finish", grid.end_s, lambda s=session: s.finish()
+                    )
+                    engine._collect_result(results, session, value)
+            except SessionError as error:
+                self._abort(error)
+                raise
+            if self.live:
+                self.recorder.event("run_end", grid.end_s, n_steps=len(grid))
+            return results
+        supervisor = self.supervisor
+        last_step = len(grid) - 1
+        for session in engine._sessions:
+            record = supervisor.quarantined.get(session.client)
+            if record is not None:
+                results[session.client] = record
+                continue
+            try:
+                engine._collect_result(results, session, session.finish())
+            except Exception as exc:
+                results[session.client] = supervisor.on_failure(
+                    session,
+                    engine._session_error(session, "finish", grid.end_s, exc),
+                    step=last_step,
+                )
+        if self.live:
+            self.recorder.event(
+                "run_end",
+                grid.end_s,
+                n_steps=len(grid),
+                n_quarantined=supervisor.n_quarantined,
+            )
+        return results
+
+    # ------------------------------------------------------------ internals
+
+    def _abort(self, error: SessionError) -> None:
+        """Terminal marker before a SessionError propagates (fail_fast):
+        a trace must never just stop."""
+        if self.live:
+            self.recorder.event(
+                "run_abort",
+                error.time_s,
+                client=error.client,
+                phase=error.phase,
+                step=self.engine.grid.index_at(error.time_s),
+            )
+
+    def _start_sessions(self) -> None:
+        engine = self.engine
+        grid = engine.grid
+        if self.fail_fast:
+            try:
+                for session in engine._sessions:
+                    engine._guarded(
+                        session, "start", grid.start_s, lambda s=session: s.start(grid)
+                    )
+            except SessionError as error:
+                self._abort(error)
+                raise
+        else:
+            for session in engine._sessions:
+                try:
+                    session.start(grid)
+                except Exception as exc:
+                    self.supervisor.on_failure(
+                        session,
+                        engine._session_error(session, "start", grid.start_s, exc),
+                        step=0,
+                    )
+
+    def _step_fail_fast(self, clock: StepClock) -> None:
+        """The historical strict loop body: first failure aborts everything."""
+        engine = self.engine
+        live = self.live
+        n_clients = sum(s.n_active_clients for s in engine._sessions) if live else 0
+        for phase in engine.phases:
+            t0 = perf_counter() if live else 0.0
+            for session in engine._sessions:
+                engine._guarded(
+                    session, phase, clock.start_s, lambda s=session, p=phase: getattr(s, p)(clock)
+                )
+            if live:
+                self.recorder.phase_time(
+                    phase, clock.index, clock.start_s, perf_counter() - t0, n_clients=n_clients
+                )
+        return
+
+    def _step_supervised(self, clock: StepClock) -> None:
+        """The contained loop body: failing sessions retry or quarantine,
+        the rest run with their phase schedule untouched."""
+        engine = self.engine
+        supervisor = self.supervisor
+        live = self.live
+        supervisor.begin_step(clock, self._by_client, engine.grid)
+        n_clients = (
+            sum(
+                s.n_active_clients
+                for s in engine._sessions
+                if supervisor.active(s.client)
+            )
+            if live
+            else 0
+        )
+        for phase in engine.phases:
+            t0 = perf_counter() if live else 0.0
+            for session in engine._sessions:
+                if not supervisor.active(session.client):
+                    continue
+                try:
+                    getattr(session, phase)(clock)
+                except Exception as exc:
+                    supervisor.on_failure(
+                        session,
+                        engine._session_error(session, phase, clock.start_s, exc),
+                        step=clock.index,
+                    )
+            if live:
+                self.recorder.phase_time(
+                    phase, clock.index, clock.start_s, perf_counter() - t0, n_clients=n_clients
+                )

@@ -409,6 +409,55 @@ class BatchedSensingSession(Session):
             results[label] = record if record is not None else self.estimates_by_client[i]
         return results
 
+    # ---------------------------------------------------------- checkpoints
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the cohort's run state (classifier + supervision masks).
+
+        Covers everything :meth:`load_state_dict` needs to resume a
+        *freshly constructed* session bit-identically: the batched
+        classifier's full state, per-member ToF cursors, masks,
+        collected estimates and failure records.  Inputs (CSI slabs,
+        ToF streams) are construction arguments, not state — the caller
+        re-supplies them.
+        """
+        from repro.core.hints import MobilityEstimate
+
+        def _encode(value: Any) -> Any:
+            return value.to_dict() if isinstance(value, MobilityEstimate) else value
+
+        return {
+            "classifier": self.classifier.state_dict(),
+            "tof_cursor": self._tof_cursor.copy(),
+            "masked": self._masked.copy(),
+            "pending_mask": sorted(self._pending_mask),
+            "failures": {label: r.to_dict() for label, r in self._failures.items()},
+            "estimates_by_client": [
+                [_encode(e) for e in row] for row in self.estimates_by_client
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        from repro.core.hints import MobilityEstimate
+        from repro.sim.supervisor import FailureRecord
+
+        def _decode(value: Any) -> Any:
+            return (
+                MobilityEstimate.from_dict(value) if isinstance(value, dict) else value
+            )
+
+        self.classifier.load_state_dict(state["classifier"])
+        self._tof_cursor[...] = state["tof_cursor"]
+        self._masked[...] = state["masked"]
+        self._pending_mask = set(state["pending_mask"])
+        self._failures = {
+            label: FailureRecord(**record)
+            for label, record in state["failures"].items()
+        }
+        self.estimates_by_client = [
+            [_decode(e) for e in row] for row in state["estimates_by_client"]
+        ]
+
     # ---------------------------------------------------------- supervision
 
     def on_quarantine(self, time_s: float, record: "FailureRecord") -> None:

@@ -143,6 +143,32 @@ class Supervisor:
         self._suspended_until: Dict[str, float] = {}
         self._needs_start: Set[str] = set()
 
+    # ---------------------------------------------------------- checkpoints
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Plain-value snapshot of the failure bookkeeping.
+
+        Restoring it into a fresh supervisor (same config) reproduces the
+        quarantine set, the retry budgets, and the pending suspension
+        deadlines — resumed runs neither re-run quarantined sessions nor
+        forget in-flight backoffs.
+        """
+        return {
+            "quarantined": {c: r.to_dict() for c, r in self.quarantined.items()},
+            "failure_counts": dict(self.failure_counts),
+            "suspended_until": dict(self._suspended_until),
+            "needs_start": sorted(self._needs_start),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.quarantined = {
+            client: FailureRecord(**record)
+            for client, record in state["quarantined"].items()
+        }
+        self.failure_counts = dict(state["failure_counts"])
+        self._suspended_until = dict(state["suspended_until"])
+        self._needs_start = set(state["needs_start"])
+
     # ------------------------------------------------------------- queries
 
     def active(self, client: str) -> bool:

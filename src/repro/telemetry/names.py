@@ -80,12 +80,22 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_C, "faults.*.*.*", "injected-fault statistics: faults.<stream>.<kind>.<stat>"),
     TelemetryName(_C, "feedback_refreshes", "CSI feedback refreshes performed by the stack session"),
     TelemetryName(_C, "handoffs", "AP handoffs performed (per client)"),
+    TelemetryName(_C, "io.csitool.nonmonotonic", "out-of-order capture timestamps skipped by the replay reader"),
     TelemetryName(_C, "rate.frames", "frames transmitted by the rate-control session"),
     TelemetryName(_C, "rate.hints", "mobility hints applied by rate control"),
     TelemetryName(_C, "scans", "full AP scans performed (per client)"),
     TelemetryName(_C, "scheduler.hints", "mobility hints applied by the scheduler"),
     TelemetryName(_C, "scheduler.slots", "transmission slots granted (per client)"),
     TelemetryName(_C, "sensing.csi_missing", "engine steps with no CSI observation for a client"),
+    TelemetryName(_C, "stream.accepted", "observations accepted into a session queue"),
+    TelemetryName(_C, "stream.blocked", "offers rejected by a full queue under the block policy"),
+    TelemetryName(_C, "stream.dropped", "queued observations discarded under the drop_oldest policy"),
+    TelemetryName(_C, "stream.evicted", "idle sessions whose classifier state was evicted"),
+    TelemetryName(_C, "stream.late", "observations arriving behind the already-stepped clock"),
+    TelemetryName(_C, "stream.revived", "evicted sessions revived by a fresh observation"),
+    TelemetryName(_C, "stream.shed", "observations refused because their session was shed"),
+    TelemetryName(_C, "stream.shed_sessions", "sessions shed under the shed_session overload policy"),
+    TelemetryName(_C, "stream.unknown_client", "observations refused for labels outside the cohort"),
     TelemetryName(_C, "supervisor.degrade_errors", "on_quarantine hooks that themselves raised (absorbed)"),
     TelemetryName(_C, "supervisor.failures", "session failures observed, before any retry/quarantine decision"),
     TelemetryName(_C, "supervisor.quarantined", "sessions quarantined this run"),
@@ -104,12 +114,16 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_G, "stack.handoffs", "final handoff count of a full-stack run"),
     TelemetryName(_G, "stack.mean_goodput_mbps", "mean goodput of a full-stack run"),
     TelemetryName(_G, "stack.scans", "final scan count of a full-stack run"),
+    TelemetryName(_G, "stream.backlog", "queued observations across all sessions after a pump"),
+    TelemetryName(_G, "stream.sessions_active", "non-evicted, non-shed sessions after a pump"),
     # ----------------------------------------------------------- histograms
     TelemetryName(_H, "channel.elapsed_s", "wall time of one channel evaluation"),
     TelemetryName(_H, "controller.epoch_s", "wall time of one controller policy epoch"),
     TelemetryName(_H, "phase.elapsed_s", "wall time of one engine phase of one step"),
     TelemetryName(_H, "rate.frame_airtime_s", "airtime of one rate-control frame"),
     TelemetryName(_H, "scheduler.frame_airtime_s", "airtime of one scheduled frame"),
+    TelemetryName(_H, "stream.offer_s", "wall time of one observation offer into the router"),
+    TelemetryName(_H, "stream.step_s", "wall time of one router pump (engine steps + evictions)"),
     # --------------------------------------------------------------- events
     TelemetryName(_E, "adaptation", "a session applied a decision (handoff/scan/hint_applied)"),
     TelemetryName(_E, "channel_batch", "one batched MultiLinkChannel.evaluate_many call"),
@@ -128,6 +142,11 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_E, "session_quarantined", "supervisor quarantined a session"),
     TelemetryName(_E, "session_resumed", "suspended session re-entered the loop"),
     TelemetryName(_E, "session_retry", "supervisor granted a retry suspension"),
+    TelemetryName(_E, "stream_checkpoint", "router state serialized to a checkpoint artifact"),
+    TelemetryName(_E, "stream_evict", "idle session state evicted (safe-default hint pushed)"),
+    TelemetryName(_E, "stream_resume", "router restored from a checkpoint artifact"),
+    TelemetryName(_E, "stream_revive", "evicted session revived by a fresh observation"),
+    TelemetryName(_E, "stream_shed", "session shed under the shed_session overload policy"),
 )
 
 

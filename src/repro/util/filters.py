@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -271,6 +271,19 @@ class TimedMedianFilter:
         self._anchor = None
         self._last_time = None
         self._batch.clear()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot; restoring it resumes bit-identically."""
+        return {
+            "anchor": self._anchor,
+            "last_time": self._last_time,
+            "batch": list(self._batch),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._anchor = state["anchor"]
+        self._last_time = state["last_time"]
+        self._batch = [float(v) for v in state["batch"]]
 
 
 class SlidingStatistics:

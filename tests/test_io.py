@@ -188,6 +188,80 @@ class TestCsiStream:
         assert times[0] == 0.0
         assert np.all(np.diff(times) > 0)  # monotone despite the wrap
 
+    def test_skips_duplicate_timestamp(self):
+        """Regression: a duplicated timestamp_low is not a wrap — it must
+        not pass through as a zero-dt step into the time-aware pipeline."""
+        rng = np.random.default_rng(18)
+        records = [
+            _make_record(rng, timestamp=1_000),
+            _make_record(rng, timestamp=2_000),
+            _make_record(rng, timestamp=2_000),  # duplicate capture
+            _make_record(rng, timestamp=3_000),
+        ]
+        times, matrices = records_to_csi_stream(records)
+        assert len(matrices) == 3
+        assert np.all(np.diff(times) > 0)
+
+    def test_skips_small_backwards_timestamp(self):
+        """A small backwards jump (driver reordering) is far below the
+        half-range wrap threshold; the old reader let it through silently."""
+        rng = np.random.default_rng(19)
+        records = [
+            _make_record(rng, timestamp=1_000),
+            _make_record(rng, timestamp=50_000),
+            _make_record(rng, timestamp=40_000),  # out-of-order delivery
+            _make_record(rng, timestamp=60_000),
+        ]
+        times, matrices = records_to_csi_stream(records)
+        assert len(matrices) == 3
+        assert np.all(np.diff(times) > 0)
+        # The reference stayed at the last *accepted* record, so the final
+        # in-order record lands at its true offset.
+        assert times[-1] == pytest.approx((60_000 - 1_000) / 1e6)
+
+    def test_nonmonotonic_counts_into_telemetry(self):
+        from repro.telemetry import TelemetryRecorder
+
+        rng = np.random.default_rng(20)
+        records = [
+            _make_record(rng, timestamp=1_000),
+            _make_record(rng, timestamp=900),
+            _make_record(rng, timestamp=1_000),
+            _make_record(rng, timestamp=2_000),
+        ]
+        recorder = TelemetryRecorder()
+        times, matrices = records_to_csi_stream(records, recorder=recorder)
+        assert len(matrices) == 2
+        assert recorder.metrics.counters()["io.csitool.nonmonotonic"] == 2.0
+
+    def test_nonmonotonic_raise_policy(self):
+        rng = np.random.default_rng(21)
+        records = [
+            _make_record(rng, timestamp=5_000),
+            _make_record(rng, timestamp=5_000),
+        ]
+        with pytest.raises(ValueError, match="non-monotonic.*record 1"):
+            records_to_csi_stream(records, nonmonotonic="raise")
+
+    def test_nonmonotonic_policy_validated(self):
+        with pytest.raises(ValueError, match="nonmonotonic"):
+            records_to_csi_stream([], nonmonotonic="ignore")
+
+    def test_corrupt_timestamp_does_not_poison_wrap_detection(self):
+        """One absurd spike must not shift the wrap reference: records
+        after it continue from the last good timestamp."""
+        rng = np.random.default_rng(22)
+        records = [
+            _make_record(rng, timestamp=2**32 - 1_000),
+            _make_record(rng, timestamp=500),  # genuine wrap
+            _make_record(rng, timestamp=400),  # out-of-order after the wrap
+            _make_record(rng, timestamp=1_500),
+        ]
+        times, matrices = records_to_csi_stream(records)
+        assert len(matrices) == 3
+        assert np.all(np.diff(times) > 0)
+        assert times[-1] == pytest.approx(2_500 / 1e6)
+
     def test_classifier_consumes_real_format(self, tmp_path):
         """End-to-end: CSI Tool log -> classifier decisions."""
         rng = np.random.default_rng(9)

@@ -103,6 +103,46 @@ class TestTimeGrid:
         assert grid.index_at(0.55) == 5
         assert grid.index_at(99.0) == len(grid) - 1
 
+    def test_accepts_epoch_anchored_grid(self):
+        """Regression: spacing tolerance must scale with the magnitude.
+
+        A replayed capture clock anchored at a Unix epoch puts ~1.7e9 on
+        the grid; float64 step jitter there is ~2.4e-7 s — far past the
+        old absolute 1e-9 tolerance, which spuriously rejected the grid.
+        """
+        anchor = 1.7e9  # a 2023 Unix timestamp, as a CSI capture would carry
+        times = anchor + np.arange(0.0, 600.0, 0.001)
+        assert np.abs(np.diff(times) - 0.001).max() > 1e-9  # trips the old check
+        grid = TimeGrid(times)
+        assert len(grid) == len(times)
+        # dt inferred from a first diff at a 1.7e9 anchor carries the
+        # anchor's representation error (~1e-7 absolute).
+        assert grid.dt_s == pytest.approx(0.001, rel=1e-3)
+        # A caller who knows the exact cadence can pin it.
+        assert TimeGrid(times, dt_s=0.001).dt_s == 0.001
+
+    def test_accepts_hours_long_millisecond_grid(self):
+        grid = TimeGrid(np.arange(0.0, 4 * 3600.0, 0.001))
+        assert grid.dt_s == pytest.approx(0.001)
+
+    def test_still_rejects_genuinely_non_uniform_long_grid(self):
+        times = 1.7e9 + np.arange(0.0, 60.0, 0.001)
+        times[30_000] += 0.0004  # a real 0.4 ms glitch, not representation error
+        with pytest.raises(ValueError, match="uniform"):
+            TimeGrid(times)
+
+    def test_regular_builds_the_anchored_grid_exactly(self):
+        grid = TimeGrid.regular(1.7e9, 0.001, 10_000)
+        assert len(grid) == 10_000
+        assert grid.start_s == pytest.approx(1.7e9)
+        assert grid.dt_s == pytest.approx(0.001)
+
+    def test_regular_validates(self):
+        with pytest.raises(ValueError, match="positive"):
+            TimeGrid.regular(0.0, 0.0, 10)
+        with pytest.raises(ValueError, match=">= 1"):
+            TimeGrid.regular(0.0, 0.1, 0)
+
 
 class TestSessionError:
     def test_failure_names_client_phase_and_time(self):

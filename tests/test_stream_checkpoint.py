@@ -1,0 +1,348 @@
+"""Checkpoint/resume of the streaming service: kill it, restore it, and
+the estimates must be bit-identical to the run that never died.
+
+Covers the happy path, the versioned-artifact guards, and the two nasty
+resume shapes the supervision machinery creates: a checkpoint holding a
+*quarantined* member (must stay quarantined, record intact) and one
+holding a *suspended* member with a queue backlog (must resume and drain
+the backlog exactly like the uninterrupted service).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedMobilityClassifier
+from repro.faults import SessionCrashFault
+from repro.sim import FailureRecord
+from repro.sim.supervisor import SupervisorConfig
+from repro.stream import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    FleetSpec,
+    SimulatedSource,
+    StreamConfig,
+    StreamRouter,
+    checkpoint_state,
+    load_checkpoint,
+    restore_router,
+    save_checkpoint,
+    tof_observation,
+)
+from repro.telemetry.recorder import TelemetryRecorder
+
+SPEC = FleetSpec(n_clients=8, duration_s=20.0)
+CONFIG = StreamConfig(
+    dt_s=SPEC.csi_period_s, horizon_steps=SPEC.n_steps, queue_capacity=256
+)
+END_S = CONFIG.start_s + (SPEC.n_steps - 1) * CONFIG.dt_s
+
+
+def fresh_source():
+    return SimulatedSource(SPEC, seed=17)
+
+
+def make_router(recorder=None, supervisor=None, member_faults=None, on_estimate=None):
+    classifier = BatchedMobilityClassifier(fresh_source().labels)
+    return StreamRouter(
+        classifier,
+        config=CONFIG,
+        recorder=recorder if recorder is not None else TelemetryRecorder(),
+        supervisor=supervisor,
+        member_faults=member_faults,
+        on_estimate=on_estimate,
+    )
+
+
+def run_stream(
+    router, observations, cut_s=None, tmp_path=None, recorder=None, on_restore=None
+):
+    """Drive the trace; if ``cut_s`` is set, kill and restore there."""
+    restarted = False
+    for observation in observations:
+        if cut_s is not None and not restarted and observation.time_s >= cut_s:
+            path = tmp_path / "service.ckpt"
+            save_checkpoint(router, path)
+            del router
+            router = load_checkpoint(
+                path, recorder=recorder if recorder is not None else TelemetryRecorder()
+            )
+            if on_restore is not None:
+                on_restore(router)
+            restarted = True
+        router.offer(observation)
+        router.advance(observation.time_s - CONFIG.dt_s)
+    router.advance(END_S)
+    return router
+
+
+def results_equal(a, b):
+    """Deep equality across estimate streams *and* failure records."""
+    if set(a) != set(b):
+        return False
+    for label in a:
+        x, y = a[label], b[label]
+        if isinstance(x, FailureRecord) or isinstance(y, FailureRecord):
+            if not (isinstance(x, FailureRecord) and isinstance(y, FailureRecord)):
+                return False
+            if x.to_dict() != y.to_dict():
+                return False
+            continue
+        if len(x) != len(y):
+            return False
+        for ex, ey in zip(x, y):
+            if ex.to_dict() != ey.to_dict():
+                return False
+    return True
+
+
+class TestHappyPathResume:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        baseline = run_stream(make_router(), fresh_source()).results()
+        resumed = run_stream(
+            make_router(), fresh_source(), cut_s=9.3, tmp_path=tmp_path
+        ).results()
+        assert results_equal(baseline, resumed)
+
+    def test_resume_at_several_cut_points(self, tmp_path):
+        baseline = run_stream(make_router(), fresh_source()).results()
+        for cut_s in (0.2, 5.0, 17.8):
+            resumed = run_stream(
+                make_router(), fresh_source(), cut_s=cut_s, tmp_path=tmp_path
+            ).results()
+            assert results_equal(baseline, resumed), f"diverged for cut at {cut_s}"
+
+    def test_resume_preserves_collected_estimates(self, tmp_path):
+        router = make_router()
+        observations = list(fresh_source())
+        mid = len(observations) // 2
+        for observation in observations[:mid]:
+            router.offer(observation)
+            router.advance(observation.time_s - CONFIG.dt_s)
+        pre_counts = {k: len(v) for k, v in router.results().items()}
+        assert sum(pre_counts.values()) > 0
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        restored = load_checkpoint(path)
+        assert {k: len(v) for k, v in restored.results().items()} == pre_counts
+
+    def test_resume_continues_at_the_same_step(self, tmp_path):
+        router = make_router()
+        router.advance(5.2)
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        restored = load_checkpoint(path)
+        assert restored.stepper.next_index == router.stepper.next_index
+        assert restored.clock_s == router.clock_s
+
+    def test_queued_backlog_survives_the_restart(self, tmp_path):
+        router = make_router()
+        for t in (0.6, 0.7, 0.8):
+            assert router.offer(tof_observation("client-0", t, 200.0 + t))
+        assert router.backlog == 3
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        restored = load_checkpoint(path)
+        assert restored.backlog == 3
+
+
+class TestArtifactGuards:
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match="not a"):
+            restore_router({"format": "some.other.artifact", "version": 1})
+
+    def test_rejects_newer_version(self):
+        state = checkpoint_state(make_router())
+        state["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            restore_router(state)
+
+    def test_rejects_cohort_mismatch(self):
+        state = checkpoint_state(make_router())
+        other = StreamRouter(
+            BatchedMobilityClassifier(["x", "y"]), config=CONFIG
+        )
+        with pytest.raises(ValueError, match="labels"):
+            other.load_state_dict(state["router"])
+
+    def test_artifact_is_a_plain_versioned_dict(self, tmp_path):
+        router = make_router()
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        with open(path, "rb") as handle:
+            raw = pickle.load(handle)
+        assert raw["format"] == CHECKPOINT_FORMAT
+        assert raw["version"] == CHECKPOINT_VERSION
+        assert isinstance(raw["stream_config"], dict)
+        assert isinstance(raw["classifier_config"], dict)
+        assert isinstance(raw["supervisor_config"], dict)
+        from repro import __version__
+
+        assert raw["repro_version"] == __version__
+
+    def test_restored_config_matches(self, tmp_path):
+        router = make_router()
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        restored = load_checkpoint(path)
+        assert restored.config == router.config
+        assert restored.supervisor_config == router.supervisor_config
+        assert restored.classifier.config == router.classifier.config
+
+
+class TestSupervisedResume:
+    """Resume with quarantine/suspension state in the artifact."""
+
+    SUPERVISOR = SupervisorConfig(policy="isolate")
+    RETRY = SupervisorConfig(policy="retry", max_retries=2, backoff_base_s=0.5)
+
+    def faulted_router(self, supervisor, n_crashes=1, at_step=8):
+        return make_router(
+            supervisor=supervisor,
+            member_faults={
+                "client-0": SessionCrashFault(
+                    phase="classify", at_step=at_step, n_crashes=n_crashes
+                )
+            },
+        )
+
+    def test_quarantined_member_stays_quarantined(self, tmp_path):
+        baseline = run_stream(
+            self.faulted_router(self.SUPERVISOR), fresh_source()
+        ).results()
+        assert isinstance(baseline["client-0"], FailureRecord)
+
+        # Cut AFTER the crash at step 8 (t = 4.0 s) so the quarantine
+        # rides inside the artifact.
+        resumed_router = run_stream(
+            self.faulted_router(self.SUPERVISOR),
+            fresh_source(),
+            cut_s=6.1,
+            tmp_path=tmp_path,
+        )
+        resumed = resumed_router.results()
+        assert isinstance(resumed["client-0"], FailureRecord)
+        assert results_equal(baseline, resumed)
+
+    def test_suspended_member_resumes_mid_backlog(self, tmp_path):
+        """The artifact captures a suspended member whose queue kept
+        buffering; the restored service un-suspends it on schedule and
+        drains the backlog bit-identically."""
+        baseline = run_stream(
+            self.faulted_router(self.RETRY), fresh_source()
+        ).results()
+        assert not isinstance(baseline["client-0"], FailureRecord)
+
+        # The crash step (8, t=4.0) runs lazily once observations reach
+        # 4.5 s; the resume step (4.5 s) runs once they reach 5.0 s.
+        # Cutting at 4.7 s therefore checkpoints a *suspended* member —
+        # and its queue must hold the ToF backlog buffered meanwhile.
+        restored_state = {}
+
+        def capture(router):
+            restored_state["suspended"] = dict(
+                router.stepper.supervisor.state_dict()["suspended_until"]
+            )
+            restored_state["backlog"] = len(
+                router.queues[router.labels.index("client-0")]
+            )
+
+        resumed = run_stream(
+            self.faulted_router(self.RETRY),
+            fresh_source(),
+            cut_s=4.7,
+            tmp_path=tmp_path,
+            on_restore=capture,
+        ).results()
+        assert "client-0" in restored_state["suspended"]
+        assert restored_state["backlog"] > 0
+        assert results_equal(baseline, resumed)
+
+    def test_escalated_quarantine_round_trips(self, tmp_path):
+        supervisor = SupervisorConfig(policy="retry", max_retries=1, backoff_base_s=0.5)
+        baseline = run_stream(
+            self.faulted_router(supervisor, n_crashes=3), fresh_source()
+        ).results()
+        assert isinstance(baseline["client-0"], FailureRecord)
+        assert baseline["client-0"].retries >= 1
+        resumed = run_stream(
+            self.faulted_router(supervisor, n_crashes=3),
+            fresh_source(),
+            cut_s=7.1,
+            tmp_path=tmp_path,
+        ).results()
+        assert results_equal(baseline, resumed)
+
+
+class TestTelemetryAcrossResume:
+    def test_counters_do_not_double_count(self, tmp_path):
+        """A restored service binds a fresh recorder and counts only what
+        happens in the new process — resume never replays history."""
+        observations = list(fresh_source())
+        cut_s = 9.3
+        n_before = sum(1 for o in observations if o.time_s < cut_s)
+
+        first = TelemetryRecorder()
+        second = TelemetryRecorder()
+        router = make_router(recorder=first)
+        run_stream(router, observations, cut_s=cut_s, tmp_path=tmp_path, recorder=second)
+
+        def accepted(recorder):
+            from repro.telemetry.metrics import CounterMetric
+
+            return sum(
+                m.value
+                for m in recorder.metrics.metrics()
+                if isinstance(m, CounterMetric) and m.name == "stream.accepted"
+            )
+
+        assert accepted(first) == n_before
+        assert accepted(second) == len(observations) - n_before
+
+    def test_resume_emits_stream_resume_event(self, tmp_path):
+        router = make_router()
+        router.advance(3.1)
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        recorder = TelemetryRecorder()
+        load_checkpoint(path, recorder=recorder)
+        kinds = [event.kind for event in recorder.events]
+        assert "stream_resume" in kinds
+
+    def test_checkpoint_emits_event(self, tmp_path):
+        recorder = TelemetryRecorder()
+        router = make_router(recorder=recorder)
+        save_checkpoint(router, tmp_path / "svc.ckpt")
+        kinds = [event.kind for event in recorder.events]
+        assert "stream_checkpoint" in kinds
+
+
+class TestEvictionStateRoundTrip:
+    def test_evicted_and_shed_flags_survive(self, tmp_path):
+        classifier = BatchedMobilityClassifier(["a", "b", "c"])
+        config = StreamConfig(
+            dt_s=0.5,
+            horizon_steps=100,
+            queue_capacity=2,
+            backpressure="shed_session",
+            idle_timeout_s=1.0,
+        )
+        router = StreamRouter(classifier, config=config)
+        # Shed "a" by overflow; let "b"/"c" go idle and get evicted.
+        router.offer(tof_observation("a", 0.1, 1.0))
+        router.offer(tof_observation("a", 0.15, 1.0))
+        router.offer(tof_observation("a", 0.2, 1.0))
+        router.advance(3.0)
+        assert router.shed[0] and router.evicted[1] and router.evicted[2]
+
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(router, path)
+        restored = load_checkpoint(path)
+        assert list(restored.shed) == list(router.shed)
+        assert list(restored.evicted) == list(router.evicted)
+        assert restored.n_active_sessions == router.n_active_sessions
+        # Shed stays shed; evicted revives on a fresh offer.
+        assert not restored.offer(tof_observation("a", 3.2, 1.0))
+        assert restored.offer(tof_observation("b", 3.2, 1.0))
+        assert not restored.evicted[1]
