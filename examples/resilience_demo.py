@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Self-healing runtime tour: kill it, corrupt it, starve it — same answer.
+
+Drives one :class:`repro.resilience.ResilientService` fleet through every
+failure the runtime knows how to absorb, then proves the estimate stream
+still matches an uninterrupted golden run bit for bit:
+
+* the grid horizon is deliberately tiny, so the service rolls over
+  several times (each rollover is checkpoint/restore into the next
+  segment — invisible in the output);
+* half the fleet arrives over a flaky source that dies twice mid-run —
+  supervised retry with deterministic backoff brings it back, and the
+  affected clients are served counted STATIC safe-default hints while
+  it is down;
+* a :class:`repro.faults.ServiceKillFault` hard-crashes the service
+  two-thirds of the way in, and a
+  :class:`repro.faults.CheckpointCorruptionFault` then rots the newest
+  artifact on disk — recovery scans past it, restores the newest *valid*
+  checkpoint, and replays the short gap.
+
+Exports:
+
+* ``recovery.json`` — clocks, counters, and the bit-identity verdict;
+* stdout           — a narrated timeline of the healing.
+
+Output paths can be overridden: ``python examples/resilience_demo.py out/``.
+CI runs this to attach the recovery report to the build artifacts.
+
+Run:  python examples/resilience_demo.py [output-dir]
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.batched import BatchedMobilityClassifier
+from repro.faults import CheckpointCorruptionFault, ServiceKilled, ServiceKillFault, SourceFault
+from repro.resilience import (
+    ResilienceConfig,
+    ResilientService,
+    SourceSpec,
+    list_artifacts,
+)
+from repro.stream import FleetSpec, SimulatedSource, StreamConfig
+from repro.telemetry import TelemetryRecorder
+from repro.telemetry.metrics import CounterMetric
+
+N_CLIENTS = 16
+DURATION_S = 20.0
+SPEC = FleetSpec(n_clients=N_CLIENTS, duration_s=DURATION_S)
+HORIZON_STEPS = 13  # tiny on purpose: forces several rollovers
+CHECKPOINT_EVERY_S = 2.0
+KILL_STEP = 2 * SPEC.n_steps // 3
+
+SOURCE_CHAOS = SourceFault(at_index=1200, n_failures=2)
+KILL = ServiceKillFault(at_step=KILL_STEP)
+ROT = CheckpointCorruptionFault(mode="flip_byte")
+
+
+def split_sources(chaos=None):
+    labels = SimulatedSource(SPEC, seed=17).labels
+    stable, flaky = labels[: N_CLIENTS // 2], labels[N_CLIENTS // 2 :]
+
+    def subset(wanted):
+        keep = frozenset(wanted)
+
+        def factory():
+            feed = (o for o in SimulatedSource(SPEC, seed=17) if o.client in keep)
+            return chaos.wrap(feed) if chaos and keep == frozenset(flaky) else feed
+
+        return factory
+
+    return [
+        SourceSpec("stable", subset(stable), clients=tuple(stable)),
+        SourceSpec("flaky", subset(flaky), clients=tuple(flaky)),
+    ]
+
+
+def build_service(workdir, recorder, sink, kill=None):
+    return ResilientService(
+        BatchedMobilityClassifier(SimulatedSource(SPEC, seed=17).labels),
+        StreamConfig(dt_s=SPEC.csi_period_s, horizon_steps=HORIZON_STEPS),
+        resilience=ResilienceConfig(
+            checkpoint_dir=str(workdir), checkpoint_every_s=CHECKPOINT_EVERY_S
+        ),
+        recorder=recorder,
+        on_estimate=lambda label, t, e: sink.append((label, t, e)),
+        kill=kill,
+    )
+
+
+def counter(recorder, name):
+    return sum(
+        m.value
+        for m in recorder.metrics.metrics()
+        if isinstance(m, CounterMetric) and m.name == name
+    )
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Golden: one long grid, clean sources, no faults.
+        golden = []
+        golden_service = ResilientService(
+            BatchedMobilityClassifier(SimulatedSource(SPEC, seed=17).labels),
+            StreamConfig(dt_s=SPEC.csi_period_s, horizon_steps=4 * SPEC.n_steps),
+            resilience=ResilienceConfig(checkpoint_dir=str(Path(tmp) / "golden2")),
+            on_estimate=lambda label, t, e: golden.append((label, t, e)),
+        )
+        golden_service.run(split_sources(), until_s=DURATION_S)
+        print(f"golden run:      {sum(1 for _ in golden)} estimates, "
+              f"{golden_service.rollovers} rollovers (long grid)")
+
+        # Chaos: tiny horizon + flaky source + kill + artifact rot.
+        recorder = TelemetryRecorder()
+        workdir = Path(tmp) / "chaos"
+        pre = []
+        service = build_service(workdir, recorder, pre, kill=KILL)
+        try:
+            service.run(split_sources(chaos=SOURCE_CHAOS), until_s=DURATION_S)
+            raise SystemExit("kill fault never fired")
+        except ServiceKilled:
+            pass
+        print(f"killed:          hard crash at step {KILL_STEP} "
+              f"(clock {service.clock_s:.1f} s, "
+              f"{service.rollovers} rollovers survived so far)")
+
+        newest = list_artifacts(str(workdir))[-1]
+        ROT.corrupt(newest)
+        print(f"corrupted:       flipped a byte in {Path(newest).name}")
+
+        post = []
+        recovered = ResilientService.recover(
+            service.resilience,
+            recorder=recorder,
+            on_estimate=lambda label, t, e: post.append((label, t, e)),
+        )
+        resume_s = recovered.clock_s
+        replayed = KILL_STEP - recovered.total_steps
+        print(f"recovered:       resumed at clock {resume_s:.1f} s "
+              f"(replaying {replayed} steps, newest rotten artifact skipped)")
+        recovered.run(split_sources(chaos=SOURCE_CHAOS), until_s=DURATION_S)
+
+        # The flaky half legitimately diverges (backoff drops, degraded
+        # hints); the bit-identity contract is for the stable survivors.
+        labels = SimulatedSource(SPEC, seed=17).labels
+        stable = frozenset(labels[: N_CLIENTS // 2])
+        merged = [x for x in pre if x[1] < resume_s] + post
+        survivors = [x for x in merged if x[0] in stable]
+        golden_survivors = [x for x in golden if x[0] in stable]
+        identical = len(survivors) == len(golden_survivors) and all(
+            a[0] == b[0] and a[1] == b[1] and a[2].to_dict() == b[2].to_dict()
+            for a, b in zip(survivors, golden_survivors)
+        )
+
+        print()
+        print(recorder.summary(title="resilience demo run"))
+        print()
+        names = (
+            "resilience.rollovers",
+            "resilience.checkpoints",
+            "resilience.corrupt_artifacts",
+            "resilience.recoveries",
+            "resilience.source_failures",
+            "resilience.source_retries",
+            "resilience.degraded_hints",
+        )
+        counters = {name: counter(recorder, name) for name in names}
+        for name, value in counters.items():
+            print(f"{name:<35} {value:.0f}")
+        print(f"{'survivors bit-identical to golden':<35} {identical}")
+
+        report = {
+            "n_clients": N_CLIENTS,
+            "duration_s": DURATION_S,
+            "kill_step": KILL_STEP,
+            "resume_clock_s": resume_s,
+            "replayed_steps": replayed,
+            "n_estimates": len(merged),
+            "survivors_bit_identical": identical,
+            "counters": counters,
+        }
+        report_path = out_dir / "recovery.json"
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nrecovery report: {report_path}")
+
+        if not identical:
+            raise SystemExit("recovered survivor estimate stream diverged from golden")
+        if counters["resilience.recoveries"] != 1 or counters["resilience.corrupt_artifacts"] < 1:
+            raise SystemExit("resilience demo expected one recovery past one rotten artifact")
+
+
+if __name__ == "__main__":
+    main()

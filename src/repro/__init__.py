@@ -66,7 +66,7 @@ from repro.telemetry import (
 )
 from repro.util.geometry import Point
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "NULL_RECORDER",

@@ -41,6 +41,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro.core",
     "repro.controller",
     "repro.stream",
+    "repro.resilience",
 )
 
 #: Default baseline location, resolved relative to the repo root / cwd.

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
     ext_controller,
+    ext_resilience,
     ext_speed_sensitivity,
     ext_streaming,
     ext_threshold_sweep,
@@ -118,6 +119,15 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         "Extension: streaming ingestion sweep (equivalence, resume, losses)",
         lambda: ext_streaming.run(n_clients=256, duration_s=30.0),
         lambda: ext_streaming.run(n_clients=64, duration_s=20.0),
+    ),
+    "resilience": (
+        "Extension: self-healing runtime chaos campaign (recovery SLOs)",
+        lambda: ext_resilience.run(
+            n_clients=64, duration_s=30.0, report_json="ext_resilience_report.json"
+        ),
+        lambda: ext_resilience.run(
+            n_clients=32, duration_s=20.0, report_json="ext_resilience_report.json"
+        ),
     ),
 }
 

@@ -9,7 +9,12 @@ Two layers of deterministic, seeded failure injection:
 * **component-level chaos** (:mod:`repro.faults.chaos`) —
   :class:`SessionCrashFault` (raise in a chosen phase/step),
   :class:`ChannelEvalFault`, and :class:`RecorderFault`, the harness for
-  the engine's supervision policies (:mod:`repro.sim.supervisor`).
+  the engine's supervision policies (:mod:`repro.sim.supervisor`); plus
+  the service-runtime injectors :class:`SourceFault` (a flaky
+  observation source), :class:`CheckpointCorruptionFault` (torn/rotted
+  artifacts on disk), and :class:`ServiceKillFault` (a mid-run hard
+  crash), the harness for the self-healing runtime
+  (:mod:`repro.resilience`).
 
 See ``docs/architecture.md`` ("Degraded input & fault injection",
 "Supervision & failure domains") for semantics and runnable examples.
@@ -18,9 +23,13 @@ See ``docs/architecture.md`` ("Degraded input & fault injection",
 from repro.faults.chaos import (
     ChannelEvalFault,
     ChaosSession,
+    CheckpointCorruptionFault,
     InjectedFault,
     RecorderFault,
+    ServiceKilled,
+    ServiceKillFault,
     SessionCrashFault,
+    SourceFault,
 )
 from repro.faults.injectors import (
     DelayFault,
@@ -34,6 +43,7 @@ from repro.faults.injectors import (
 __all__ = [
     "ChannelEvalFault",
     "ChaosSession",
+    "CheckpointCorruptionFault",
     "DelayFault",
     "DropFault",
     "DuplicateFault",
@@ -42,5 +52,8 @@ __all__ = [
     "InjectedFault",
     "NaNFault",
     "RecorderFault",
+    "ServiceKilled",
+    "ServiceKillFault",
     "SessionCrashFault",
+    "SourceFault",
 ]

@@ -17,7 +17,9 @@ raise :class:`InjectedFault`, distinguishable from organic bugs.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+import os
+import pickle
+from typing import Any, Iterable, Iterator, NoReturn, Optional, Union
 
 from repro.sim.engine import Session, StepClock, TimeGrid
 from repro.telemetry.recorder import Recorder
@@ -30,6 +32,13 @@ CRASHABLE_PHASES = ("start", "sense", "classify", "adapt", "transmit", "finish")
 
 class InjectedFault(RuntimeError):
     """Raised by chaos injectors; never thrown by organic simulation code."""
+
+
+class ServiceKilled(InjectedFault):
+    """Raised by :class:`ServiceKillFault` — a simulated hard process
+    crash.  The service gets no chance to checkpoint or clean up; the
+    recovery campaign resumes it from the newest valid on-disk artifact
+    (:meth:`repro.resilience.ResilientService.recover`)."""
 
 
 class SessionCrashFault:
@@ -277,3 +286,152 @@ class RecorderFault:
     def wrap(self, recorder: Recorder) -> Recorder:
         """The recorder, wrapped to raise per this fault's schedule."""
         return _ChaosRecorder(recorder, self)
+
+
+class SourceFault:
+    """Make a wrapped observation source raise at a chosen raw position.
+
+    ``at_index`` counts raw observations from the start of the *sequence*
+    (0 = the first one), not from the start of one iteration: a
+    supervised source that restarts and fast-forwards after a failure
+    walks the same indices again, so with ``n_failures > 1`` the retry
+    attempt re-fails at the same spot — exactly the consecutive-failure
+    shape that escalates :class:`repro.resilience.SupervisedSource`'s
+    circuit breaker.  Leave ``at_index`` ``None`` and :meth:`arm` picks
+    one uniformly from the fault's own seeded RNG (never the
+    simulation's).  The firing budget (``n_failures``) is shared across
+    every :meth:`wrap` call, so a source factory can re-wrap the same
+    fault on each restart and the flakiness stays transient.
+
+    Usage::
+
+        fault = SourceFault(at_index=120, n_failures=1)
+        spec = SourceSpec("trace", lambda: fault.wrap(events), clients)
+    """
+
+    def __init__(
+        self,
+        at_index: Optional[int] = None,
+        n_failures: int = 1,
+        seed: SeedLike = None,
+        message: str = "injected source failure",
+    ) -> None:
+        if at_index is not None and at_index < 0:
+            raise ValueError(f"at_index must be non-negative, got {at_index}")
+        if n_failures < 1:
+            raise ValueError(f"n_failures must be positive, got {n_failures}")
+        self.at_index = at_index
+        self.n_failures = n_failures
+        self.message = message
+        self._seed = seed
+        self.n_fired = 0
+
+    def arm(self, n_observations: int) -> None:
+        """Fix the failing position over ``n_observations`` (seeded if unpinned)."""
+        if self.at_index is None:
+            self.at_index = int(
+                ensure_rng(self._seed).integers(0, max(n_observations, 1))
+            )
+
+    def wrap(self, observations: Iterable[Any]) -> Iterator[Any]:
+        """The observation sequence, raising per this fault's schedule."""
+
+        def generate() -> Iterator[Any]:
+            for index, observation in enumerate(observations):
+                if (
+                    self.at_index is not None
+                    and index == self.at_index
+                    and self.n_fired < self.n_failures
+                ):
+                    self.n_fired += 1
+                    raise InjectedFault(self.message)
+                yield observation
+
+        return generate()
+
+
+#: Ways a :class:`CheckpointCorruptionFault` can damage an artifact.
+CORRUPTION_MODES = ("truncate", "flip_byte", "wrong_format")
+
+
+class CheckpointCorruptionFault:
+    """Damage a checkpoint artifact on disk, deterministically.
+
+    Models the failures a long-lived service actually meets: a torn
+    write (``truncate`` keeps the leading third of the file), silent bit
+    rot (``flip_byte`` XOR-flips one byte two thirds in — inside the
+    payload region of a v2 artifact, so the sha256 digest catches it),
+    and a foreign file dropped into the checkpoint directory
+    (``wrong_format``).  The recovery scan
+    (:func:`repro.resilience.scan_checkpoints`) must refuse the damaged
+    artifact loudly and fall back to the next-newest valid one.
+    """
+
+    def __init__(self, mode: str = "flip_byte") -> None:
+        if mode not in CORRUPTION_MODES:
+            raise ValueError(f"mode must be one of {CORRUPTION_MODES}, got {mode!r}")
+        self.mode = mode
+        self.n_fired = 0
+
+    def corrupt(self, path: Union[str, os.PathLike]) -> None:
+        """Damage the artifact at ``path`` in place per :attr:`mode`."""
+        name = os.fspath(path)
+        if self.mode == "wrong_format":
+            payload = pickle.dumps({"format": "not.a.checkpoint", "version": 0})
+            with open(name, "wb") as handle:
+                handle.write(payload)
+        else:
+            with open(name, "rb") as handle:
+                data = bytearray(handle.read())
+            if not data:
+                raise ValueError(f"cannot corrupt empty artifact {name!r}")
+            if self.mode == "truncate":
+                data = data[: len(data) // 3]
+            else:  # flip_byte
+                data[(len(data) * 2) // 3] ^= 0xFF
+            with open(name, "wb") as handle:
+                handle.write(bytes(data))
+        self.n_fired += 1
+
+
+class ServiceKillFault:
+    """Hard-kill a supervised service once it completes a chosen step.
+
+    ``at_step`` counts *global* service steps (across horizon rollovers
+    and, after a recovery, across process incarnations); leave it
+    ``None`` and :meth:`arm` draws one from the fault's own seeded RNG.
+    :class:`repro.resilience.ResilientService` consults :meth:`due` after
+    every engine step and calls :meth:`fire`, which raises
+    :class:`ServiceKilled` — simulating a crash that never reaches a
+    checkpoint or a clean shutdown.  The fault fires at most once.
+    """
+
+    def __init__(
+        self,
+        at_step: Optional[int] = None,
+        seed: SeedLike = None,
+        message: str = "injected service kill",
+    ) -> None:
+        if at_step is not None and at_step < 0:
+            raise ValueError(f"at_step must be non-negative, got {at_step}")
+        self.at_step = at_step
+        self.message = message
+        self._seed = seed
+        self.n_fired = 0
+
+    def arm(self, n_steps: int) -> None:
+        """Fix the kill step for an ``n_steps`` campaign (seeded if unpinned)."""
+        if self.at_step is None:
+            self.at_step = int(ensure_rng(self._seed).integers(1, max(n_steps, 2)))
+
+    def due(self, total_steps: int) -> bool:
+        """Whether the kill should fire once ``total_steps`` have run."""
+        return (
+            self.n_fired == 0
+            and self.at_step is not None
+            and total_steps >= self.at_step
+        )
+
+    def fire(self) -> NoReturn:
+        self.n_fired += 1
+        raise ServiceKilled(self.message)

@@ -1,0 +1,167 @@
+"""Supervised periodic checkpointing with retention and recovery scan.
+
+A :class:`CheckpointManager` owns one checkpoint *directory* the way a
+database owns its WAL directory: the service calls :meth:`due` /
+:meth:`save` on a deterministic sim-time cadence, artifacts are named by
+their service-clock instant (lexically sortable), retention keeps the
+newest ``keep`` artifacts, and every write goes through
+:func:`repro.stream.save_checkpoint`'s temp-file + ``os.replace`` path so
+a crash mid-save can never tear the newest artifact.
+
+Recovery is :func:`scan_checkpoints`: walk the directory newest-first,
+refuse corrupt/truncated/foreign artifacts *loudly* (counted under
+``resilience.corrupt_artifacts``, one ``checkpoint_rejected`` trace event
+each), and hand back the newest payload that passes its sha256 integrity
+check.  A directory with no valid artifact raises
+:class:`repro.stream.CorruptCheckpoint` listing every rejection — a
+service must never silently start cold when it was asked to recover.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.stream.checkpoint import (
+    CorruptCheckpoint,
+    read_checkpoint_state,
+    save_checkpoint,
+)
+from repro.stream.router import StreamRouter
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, shield
+
+#: Suffix of every managed artifact in a checkpoint directory.
+ARTIFACT_SUFFIX = ".ckpt"
+
+
+def artifact_name(time_s: float) -> str:
+    """The managed artifact filename for a checkpoint at ``time_s``.
+
+    Millisecond-quantized and zero-padded, so lexical order is service
+    clock order across rollovers and process restarts.
+    """
+    return f"service-{int(round(time_s * 1000.0)):013d}{ARTIFACT_SUFFIX}"
+
+
+def list_artifacts(directory: str) -> List[str]:
+    """Managed artifact paths in ``directory``, oldest first."""
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.endswith(ARTIFACT_SUFFIX)
+        )
+    except FileNotFoundError:
+        return []
+    return [os.path.join(directory, name) for name in names]
+
+
+def scan_checkpoints(
+    directory: str, recorder: Recorder = NULL_RECORDER
+) -> Tuple[Dict[str, Any], str, List[str]]:
+    """The newest valid artifact payload in ``directory``.
+
+    Returns ``(state, path, rejected_paths)`` where ``rejected_paths``
+    lists every newer artifact that failed its integrity/format check
+    (each counted and traced).  Raises :class:`CorruptCheckpoint` when no
+    artifact in the directory can be trusted.
+    """
+    recorder = shield(recorder)
+    live = recorder.enabled
+    rejected: List[str] = []
+    reasons: List[str] = []
+    for path in reversed(list_artifacts(directory)):
+        try:
+            state = read_checkpoint_state(path)
+        except (CorruptCheckpoint, ValueError) as exc:
+            rejected.append(path)
+            reasons.append(f"{os.path.basename(path)}: {exc}")
+            if live:
+                recorder.count("resilience.corrupt_artifacts")
+                recorder.event(
+                    "checkpoint_rejected", 0.0, path=path, error=str(exc)
+                )
+            continue
+        return state, path, rejected
+    detail = "; ".join(reasons) if reasons else "directory holds no artifacts"
+    raise CorruptCheckpoint(
+        f"no valid checkpoint artifact in {directory!r}: {detail}"
+    )
+
+
+class CheckpointManager:
+    """Deterministic sim-time checkpoint cadence over one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        every_s: float,
+        keep: int = 3,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        if every_s <= 0:
+            raise ValueError(f"every_s must be positive, got {every_s}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = os.fspath(directory)
+        self.every_s = every_s
+        self.keep = keep
+        self.recorder = shield(recorder)
+        os.makedirs(self.directory, exist_ok=True)
+        self._next_due_s: Optional[float] = None
+
+    # ------------------------------------------------------------- cadence
+
+    def schedule_from(self, start_s: float) -> None:
+        """Anchor the cadence: first checkpoint due at ``start_s + every_s``."""
+        self._next_due_s = start_s + self.every_s
+
+    def due(self, clock_s: float) -> bool:
+        """Whether the service clock has reached the next cadence instant."""
+        return self._next_due_s is not None and clock_s >= self._next_due_s
+
+    @property
+    def next_due_s(self) -> Optional[float]:
+        """The next cadence instant (``None`` until scheduled)."""
+        return self._next_due_s
+
+    # -------------------------------------------------------------- saving
+
+    def save(
+        self,
+        router: StreamRouter,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write one artifact for ``router`` now; prune per retention.
+
+        Returns the artifact path.  Advances the cadence past the
+        router's current clock, so a single slow ``advance`` burst never
+        writes a backlog of stale checkpoints.
+        """
+        clock_s = router.clock_s
+        path = os.path.join(self.directory, artifact_name(clock_s))
+        save_checkpoint(router, path, extra=extra)
+        if self._next_due_s is not None:
+            while self._next_due_s <= clock_s:
+                self._next_due_s += self.every_s
+        retained = self._prune()
+        if self.recorder.enabled:
+            self.recorder.count("resilience.checkpoints")
+            self.recorder.gauge("resilience.checkpoints_retained", float(retained))
+        return path
+
+    def _prune(self) -> int:
+        """Drop the oldest artifacts beyond ``keep``; surviving count."""
+        artifacts = list_artifacts(self.directory)
+        excess = artifacts[: max(0, len(artifacts) - self.keep)]
+        for path in excess:
+            try:
+                os.remove(path)
+            except OSError:
+                # Retention must never take the service down; the stray
+                # artifact is counted and retried at the next prune.
+                if self.recorder.enabled:
+                    self.recorder.count("resilience.prune_errors")
+        if excess and self.recorder.enabled:
+            self.recorder.count("resilience.checkpoints_pruned", value=len(excess))
+        return len(list_artifacts(self.directory))

@@ -1,0 +1,50 @@
+"""Configuration of the self-healing runtime (:mod:`repro.resilience`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.supervisor import SupervisorConfig
+
+
+def _default_source_policy() -> SupervisorConfig:
+    return SupervisorConfig(policy="retry")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of a :class:`repro.resilience.ResilientService`.
+
+    Attributes:
+        checkpoint_dir: directory the :class:`CheckpointManager` owns;
+            created if missing, scanned on :meth:`ResilientService.recover`.
+        checkpoint_every_s: sim-time checkpoint cadence.  Deterministic:
+            the service chunks its ``advance`` so artifacts land exactly
+            on the cadence instants, independent of how callers batch
+            their calls.
+        keep_checkpoints: retention depth (keep-last-K artifacts).  K > 1
+            is what makes recovery survive a *corrupt newest* artifact.
+        source_policy: retry/backoff/shed shape for supervised sources —
+            the same :class:`repro.sim.SupervisorConfig` the engine's
+            step supervisor uses (``max_retries`` bounds consecutive
+            failures before the circuit breaker sheds the source;
+            ``backoff_base_s``/``backoff_factor`` set the deterministic
+            sim-time backoff).
+    """
+
+    checkpoint_dir: str
+    checkpoint_every_s: float = 5.0
+    keep_checkpoints: int = 3
+    source_policy: SupervisorConfig = field(default_factory=_default_source_policy)
+
+    def __post_init__(self) -> None:
+        if not self.checkpoint_dir:
+            raise ValueError("checkpoint_dir must be a non-empty path")
+        if self.checkpoint_every_s <= 0:
+            raise ValueError(
+                f"checkpoint_every_s must be positive, got {self.checkpoint_every_s}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ValueError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )

@@ -1,0 +1,222 @@
+"""Fault-tolerant observation sources: retry, backoff, shed, fast-forward.
+
+A :class:`SourceSpec` names a *restartable* observation source: a factory
+returning a fresh time-ordered iterable of
+:class:`repro.stream.Observation` events, plus the client labels it
+serves.  :class:`SupervisedSource` pulls from it with the supervision
+semantics a production ingest pipeline needs:
+
+* **any exception from the source is a counted failure**
+  (``resilience.source_failures``), never a service crash;
+* **retry with deterministic exponential backoff** — the source is
+  rebuilt from its factory and fast-forwarded past the ``consumed`` raw
+  cursor (so nothing is re-delivered), and observations timestamped
+  inside the backoff window are dropped and counted
+  (``resilience.source_dropped``) exactly as a real re-connect loses the
+  packets sent while the link was down.  The backoff shape is
+  :meth:`repro.sim.SupervisorConfig.backoff_s` — the same policy object
+  the engine's supervisor uses — evaluated on *sim time*, so runs are
+  bit-reproducible;
+* **circuit breaker** — more than ``policy.max_retries`` consecutive
+  failures sheds the source for good (``resilience.sources_shed``); the
+  outage callback lets the service serve
+  :func:`repro.core.safe_default_hint` degraded hints for the source's
+  clients while it is down (counted ``resilience.degraded_hints``).
+
+The raw-position cursor (``consumed`` = delivered + dropped) is what the
+service checkpoints, so a crash-recovered process fast-forwards each
+source to exactly where the dead process left off and never re-feeds an
+observation the router already queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+from repro.sim.supervisor import SupervisorConfig
+from repro.stream.observations import Observation
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, shield
+
+#: Outage callback: ``(spec, time_s, terminal)`` — ``terminal`` is True
+#: when the source was shed (no further retries will happen).
+OutageCallback = Callable[["SourceSpec", float, bool], None]
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A restartable observation source and the clients it serves.
+
+    Attributes:
+        name: stable identifier; keys the checkpointed resume cursor.
+        factory: zero-argument callable returning a *fresh* time-ordered
+            iterable of observations.  Called once per (re)start, so a
+            retried source replays from its beginning and is
+            fast-forwarded by the supervisor — the factory must be
+            deterministic for resume to be exact.
+        clients: labels served by this source; these receive degraded
+            safe-default hints while the source is down.
+    """
+
+    name: str
+    factory: Callable[[], Iterable[Observation]]
+    clients: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a SourceSpec needs a non-empty name")
+
+
+class SupervisedSource:
+    """One :class:`SourceSpec` under retry/backoff/shed supervision.
+
+    A pull interface for the service's merge loop: :meth:`peek` exposes
+    the next deliverable observation (``None`` when the source is
+    exhausted or shed), :meth:`pop` consumes it.  All failure handling
+    happens inside — by the time an observation comes out, every retry,
+    backoff drop, and shed decision has already been made and counted.
+    """
+
+    def __init__(
+        self,
+        spec: SourceSpec,
+        policy: Optional[SupervisorConfig] = None,
+        recorder: Recorder = NULL_RECORDER,
+        on_outage: Optional[OutageCallback] = None,
+        origin_s: float = 0.0,
+        resume_at: int = 0,
+    ) -> None:
+        if resume_at < 0:
+            raise ValueError(f"resume_at must be >= 0, got {resume_at}")
+        self.spec = spec
+        self.policy = policy if policy is not None else SupervisorConfig(policy="retry")
+        self.recorder = shield(recorder)
+        self.on_outage = on_outage
+        self._iter: Iterator[Observation] = iter(spec.factory())
+        #: Raw-position cursor: how many raw items of the factory stream
+        #: have been consumed (delivered to the service *or* dropped in a
+        #: backoff window).  Checkpointed by the service; restarts
+        #: fast-forward by exactly this count.
+        self._consumed = resume_at
+        self._skip = resume_at
+        self._failures = 0
+        self._deadline_s: Optional[float] = None
+        self._last_time_s = origin_s
+        self._next: Optional[Observation] = None
+        self._shed = False
+        self._exhausted = False
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def consumed(self) -> int:
+        """The raw-position cursor (delivered + dropped items)."""
+        return self._consumed
+
+    @property
+    def shed(self) -> bool:
+        """Whether the circuit breaker gave up on this source."""
+        return self._shed
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the source ran out of observations cleanly."""
+        return self._exhausted
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last successful delivery."""
+        return self._failures
+
+    # ------------------------------------------------------------- pulling
+
+    def peek(self) -> Optional[Observation]:
+        """The next deliverable observation, without consuming it.
+
+        ``None`` means this source is finished — exhausted or shed.
+        """
+        if self._next is None:
+            self._pull()
+        return self._next
+
+    def pop(self) -> Observation:
+        """Consume and return the next observation (:meth:`peek` first)."""
+        observation = self.peek()
+        if observation is None:
+            raise RuntimeError(
+                f"source {self.spec.name!r} has no observation to pop"
+            )
+        self._next = None
+        return observation
+
+    def _pull(self) -> None:
+        """Fill ``self._next``, absorbing failures/backoff/fast-forward."""
+        recorder = self.recorder
+        while self._next is None and not self._shed and not self._exhausted:
+            try:
+                observation = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                return
+            except Exception as exc:  # noqa: BLE001 - any source error is a failure
+                self._fail(exc)
+                continue
+            if self._skip > 0:
+                # Fast-forward after a restart: this raw item was already
+                # delivered or dropped before, so it is not re-counted.
+                self._skip -= 1
+                continue
+            self._consumed += 1
+            if self._deadline_s is not None:
+                if observation.time_s < self._deadline_s:
+                    # Lost while the source was down (backoff window).
+                    if recorder.enabled:
+                        recorder.count("resilience.source_dropped")
+                    continue
+                self._deadline_s = None
+                self._failures = 0
+                if recorder.enabled:
+                    recorder.event(
+                        "source_restored",
+                        observation.time_s,
+                        source=self.spec.name,
+                    )
+            self._last_time_s = observation.time_s
+            self._next = observation
+
+    # ------------------------------------------------------------ failures
+
+    def _fail(self, exc: Exception) -> None:
+        """One source failure: count, then retry-with-backoff or shed."""
+        self._failures += 1
+        recorder = self.recorder
+        live = recorder.enabled
+        if live:
+            recorder.count("resilience.source_failures")
+            recorder.event(
+                "source_down",
+                self._last_time_s,
+                source=self.spec.name,
+                error=str(exc),
+                failures=self._failures,
+            )
+        if self._failures > self.policy.max_retries:
+            self._shed = True
+            if live:
+                recorder.count("resilience.sources_shed")
+                recorder.event(
+                    "source_shed",
+                    self._last_time_s,
+                    source=self.spec.name,
+                    error=str(exc),
+                )
+            if self.on_outage is not None:
+                self.on_outage(self.spec, self._last_time_s, True)
+            return
+        if live:
+            recorder.count("resilience.source_retries")
+        self._deadline_s = self._last_time_s + self.policy.backoff_s(self._failures)
+        self._iter = iter(self.spec.factory())
+        self._skip = self._consumed
+        if self.on_outage is not None:
+            self.on_outage(self.spec, self._last_time_s, False)

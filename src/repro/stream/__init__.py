@@ -23,8 +23,10 @@ See the "Streaming ingestion" section of ``docs/architecture.md``.
 from repro.stream.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    CorruptCheckpoint,
     checkpoint_state,
     load_checkpoint,
+    read_checkpoint_state,
     restore_router,
     save_checkpoint,
 )
@@ -32,6 +34,7 @@ from repro.stream.observations import KINDS, Observation, csi_observation, tof_o
 from repro.stream.queues import SessionQueue
 from repro.stream.router import (
     BACKPRESSURE_POLICIES,
+    HorizonExhausted,
     StreamConfig,
     StreamingSensingSession,
     StreamRouter,
@@ -42,7 +45,9 @@ __all__ = [
     "BACKPRESSURE_POLICIES",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "CorruptCheckpoint",
     "FleetSpec",
+    "HorizonExhausted",
     "KINDS",
     "Observation",
     "SessionQueue",
@@ -54,6 +59,7 @@ __all__ = [
     "csi_observation",
     "load_checkpoint",
     "merge_sources",
+    "read_checkpoint_state",
     "restore_router",
     "save_checkpoint",
     "tof_observation",

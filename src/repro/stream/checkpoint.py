@@ -9,10 +9,19 @@ eviction/shed flags, and the engine step position — to one artifact;
 ``tests/test_stream_checkpoint.py``).  That contract is what turns a
 process restart (or a grid-horizon rollover) into a non-event.
 
-Format: a pickled dict stamped ``format="repro.stream.checkpoint"`` with
-an integer ``version``; loaders reject unknown formats and newer
-versions loudly instead of resuming from state they misread.  The
-library version that wrote the artifact rides along for diagnostics.
+Format, since version 2: a pickled *envelope* dict stamped
+``format="repro.stream.checkpoint"`` with an integer ``version``, a
+``sha256`` hex digest, and the pickled state ``payload`` as bytes.  The
+digest covers the payload byte-for-byte, so a torn write, a flipped bit,
+or a half-synced copy is detected *before* any state is unpickled and
+refused with :class:`CorruptCheckpoint` — a service must never resume
+from state it misread.  Writes go through a same-directory temp file and
+``os.replace``, so a crash mid-save can never leave a torn artifact
+under the final name.  Version-1 artifacts (a flat payload dict, no
+digest) are still accepted by the loaders.
+
+Loaders reject unknown formats and newer versions loudly.  The library
+version that wrote the artifact rides along for diagnostics.
 Configuration (stream, classifier, supervisor) is stored as plain field
 dicts — never as pickled config objects — so artifacts survive dataclass
 reshuffles within a format version.
@@ -25,6 +34,7 @@ so counters never double-count (also pinned by the tests).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from dataclasses import asdict
@@ -40,7 +50,19 @@ from repro.telemetry.recorder import NULL_RECORDER, Recorder
 #: Artifact type tag.
 CHECKPOINT_FORMAT = "repro.stream.checkpoint"
 #: Current artifact schema version; bump on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: v2 wraps the v1 payload in a sha256-digested envelope (see module docs).
+CHECKPOINT_VERSION = 2
+
+
+class CorruptCheckpoint(ValueError):
+    """The artifact is unreadable, torn, or fails its integrity digest.
+
+    Distinct from the "wrong format" / "newer version" refusals: those
+    describe a *valid* artifact this library cannot or should not load;
+    this one describes bytes that cannot be trusted at all.  Recovery
+    code (:mod:`repro.resilience.checkpoints`) catches it to fall back to
+    the next-newest artifact; everything else should let it propagate.
+    """
 
 
 def checkpoint_state(router: StreamRouter) -> Dict[str, Any]:
@@ -60,18 +82,111 @@ def checkpoint_state(router: StreamRouter) -> Dict[str, Any]:
     }
 
 
-def save_checkpoint(router: StreamRouter, path: Union[str, os.PathLike]) -> None:
-    """Write ``router``'s state as a versioned artifact at ``path``."""
+def save_checkpoint(
+    router: StreamRouter,
+    path: Union[str, os.PathLike],
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``router``'s state as a versioned artifact at ``path``.
+
+    ``extra`` rides along under the payload's ``"service"`` key —
+    supervising runtimes (:mod:`repro.resilience`) stash source cursors
+    and rollover bookkeeping there; plain router resume ignores it.
+
+    The write is atomic: the envelope lands in a same-directory temp
+    file first and is moved over ``path`` with :func:`os.replace`, so a
+    crash mid-save leaves either the previous artifact or none — never a
+    torn one under the final name.
+    """
     state = checkpoint_state(router)
-    with open(path, "wb") as handle:
-        pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    if extra is not None:
+        state["service"] = dict(extra)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "payload": payload,
+    }
+    final_path = os.fspath(path)
+    temp_path = f"{final_path}.tmp"
+    with open(temp_path, "wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp_path, final_path)
     if router.recorder.enabled:
         router.recorder.event(
             "stream_checkpoint",
             router.clock_s,
             step=router.stepper.next_index,
-            path=str(path),
+            path=final_path,
         )
+
+
+def read_checkpoint_state(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Read and integrity-check the artifact at ``path``; the payload dict.
+
+    Raises :class:`CorruptCheckpoint` for unreadable/truncated bytes and
+    digest mismatches, and plain :class:`ValueError` for foreign formats
+    and newer-than-supported versions — each with a distinct message, so
+    operators (and the recovery scan) can tell a torn file from a wrong
+    one.  Version-1 artifacts (flat payload, no digest) pass through for
+    :func:`restore_router` to validate.
+    """
+    name = os.fspath(path)
+    try:
+        with open(name, "rb") as handle:
+            raw = pickle.load(handle)
+    except (OSError, EOFError) as exc:
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} is truncated or unreadable: {exc}"
+        ) from exc
+    except Exception as exc:  # pickle raises a zoo of types on corrupt bytes
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} is not a readable pickle "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(raw, dict):
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} does not hold an artifact dict "
+            f"(got {type(raw).__name__})"
+        )
+    if "payload" not in raw:
+        # A version-1 flat payload; restore_router guards format/version.
+        return raw
+    if raw.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"not a {CHECKPOINT_FORMAT} artifact (format={raw.get('format')!r})"
+        )
+    version = raw.get("version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {version!r} is newer than this library "
+            f"supports ({CHECKPOINT_VERSION}); upgrade before resuming"
+        )
+    payload = raw.get("payload")
+    if not isinstance(payload, bytes):
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} carries no payload bytes"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != raw.get("sha256"):
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} failed its integrity check: "
+            f"payload sha256 {digest} != stamped {raw.get('sha256')!r}"
+        )
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # digest passed but payload will not unpickle
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} payload does not unpickle "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(state, dict):
+        raise CorruptCheckpoint(
+            f"checkpoint artifact {name!r} payload is not a state dict "
+            f"(got {type(state).__name__})"
+        )
+    return state
 
 
 def restore_router(
@@ -124,6 +239,6 @@ def load_checkpoint(
     captured; feeding it the same remaining observations produces
     bit-identical estimates to the uninterrupted run.
     """
-    with open(path, "rb") as handle:
-        state = pickle.load(handle)
-    return restore_router(state, recorder=recorder, on_estimate=on_estimate)
+    return restore_router(
+        read_checkpoint_state(path), recorder=recorder, on_estimate=on_estimate
+    )

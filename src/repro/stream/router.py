@@ -73,6 +73,34 @@ from repro.telemetry.recorder import NULL_RECORDER, Recorder, shield
 BACKPRESSURE_POLICIES: Tuple[str, ...] = ("block", "drop_oldest", "shed_session")
 
 
+class HorizonExhausted(RuntimeError):
+    """The router's finite :class:`repro.sim.TimeGrid` segment ran out.
+
+    Raised by :meth:`StreamRouter.advance` once every step of the
+    configured horizon has run and the caller asks for time beyond it.
+    The remedy is a checkpoint/restore into the next grid segment
+    (:mod:`repro.stream.checkpoint`) — which
+    :class:`repro.resilience.ResilientService` automates — so a typed
+    signal lets callers distinguish "roll the service over" from "router
+    is closed" (a plain :class:`RuntimeError`).
+
+    Attributes:
+        end_s: last sample instant of the exhausted grid segment.
+        n_steps: length of the exhausted segment, in engine steps.
+    """
+
+    def __init__(self, end_s: float, n_steps: int) -> None:
+        self.end_s = end_s
+        self.n_steps = n_steps
+        # Keep the historical RuntimeError message for back-compat with
+        # callers that match on the text.
+        super().__init__(
+            f"stream horizon exhausted at {end_s:.3f} s "
+            f"({n_steps} steps); checkpoint and restore to roll over "
+            "(see repro.stream.checkpoint)"
+        )
+
+
 @dataclass(frozen=True)
 class StreamConfig:
     """Service-level knobs of a :class:`StreamRouter`.
@@ -236,6 +264,12 @@ class StreamRouter:
         self.last_activity = np.full(n, self.config.start_s, dtype=float)
         self.evicted = np.zeros(n, dtype=bool)
         self.shed = np.zeros(n, dtype=bool)
+        #: Rejection floor for a router whose grid segment is a rollover
+        #: continuation: steps at or before this instant ran in a
+        #: *previous* segment, so observations there are late even while
+        #: ``next_index == 0`` (set by the rollover machinery in
+        #: :mod:`repro.resilience`; ``None`` for a fresh service).
+        self.late_floor_s: Optional[float] = None
         grid = TimeGrid.regular(
             self.config.start_s, self.config.dt_s, self.config.horizon_steps
         )
@@ -302,11 +336,16 @@ class StreamRouter:
                 recorder.count("stream.shed", client=label)
             return False
         next_index = self.stepper.next_index
-        if next_index > 0 and observation.time_s <= float(
-            self.engine.grid.times[next_index - 1]
-        ):
+        if next_index > 0:
+            stepped_past_s: Optional[float] = float(
+                self.engine.grid.times[next_index - 1]
+            )
+        else:
+            stepped_past_s = self.late_floor_s
+        if stepped_past_s is not None and observation.time_s <= stepped_past_s:
             # The step that would have consumed this observation already
-            # ran; feeding it now would hand the classifier a stale clock.
+            # ran (possibly in a previous grid segment, pre-rollover);
+            # feeding it now would hand the classifier a stale clock.
             if live:
                 recorder.count("stream.late", client=label)
             return False
@@ -377,11 +416,7 @@ class StreamRouter:
             self.stepper.step()
             n_steps += 1
         if self.stepper.done and until_s > grid.end_s:
-            raise RuntimeError(
-                f"stream horizon exhausted at {grid.end_s:.3f} s "
-                f"({len(grid)} steps); checkpoint and restore to roll over "
-                "(see repro.stream.checkpoint)"
-            )
+            raise HorizonExhausted(grid.end_s, len(grid))
         if live:
             recorder.observe("stream.step_s", perf_counter() - t0)
             recorder.gauge("stream.backlog", float(self.backlog))
@@ -430,6 +465,7 @@ class StreamRouter:
         return {
             "labels": list(self.labels),
             "next_index": self.stepper.next_index,
+            "late_floor_s": self.late_floor_s,
             "queues": [queue.state_dict() for queue in self.queues],
             "last_activity": self.last_activity.copy(),
             "evicted": self.evicted.copy(),
@@ -441,6 +477,9 @@ class StreamRouter:
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         if list(state["labels"]) != self.labels:
             raise ValueError("checkpoint cohort labels disagree with this router")
+        # v1 artifacts predate the rollover floor; absent means "fresh".
+        floor = state.get("late_floor_s")
+        self.late_floor_s = None if floor is None else float(floor)
         for queue, queue_state in zip(self.queues, state["queues"]):
             queue.load_state_dict(queue_state)
         self.last_activity[...] = state["last_activity"]

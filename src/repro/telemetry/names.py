@@ -83,6 +83,17 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_C, "io.csitool.nonmonotonic", "out-of-order capture timestamps skipped by the replay reader"),
     TelemetryName(_C, "rate.frames", "frames transmitted by the rate-control session"),
     TelemetryName(_C, "rate.hints", "mobility hints applied by rate control"),
+    TelemetryName(_C, "resilience.checkpoints", "supervised checkpoint artifacts written"),
+    TelemetryName(_C, "resilience.checkpoints_pruned", "checkpoint artifacts removed by keep-last-K retention"),
+    TelemetryName(_C, "resilience.corrupt_artifacts", "checkpoint artifacts refused by the recovery scan"),
+    TelemetryName(_C, "resilience.degraded_hints", "safe-default hints served while a client's source was down"),
+    TelemetryName(_C, "resilience.prune_errors", "retention removals that failed (retried next prune)"),
+    TelemetryName(_C, "resilience.recoveries", "services resumed from a checkpoint directory"),
+    TelemetryName(_C, "resilience.rollovers", "automatic grid-horizon rollovers absorbed mid-advance"),
+    TelemetryName(_C, "resilience.source_dropped", "observations lost inside a source's backoff window"),
+    TelemetryName(_C, "resilience.source_failures", "supervised-source failures observed"),
+    TelemetryName(_C, "resilience.source_retries", "source restarts granted with backoff"),
+    TelemetryName(_C, "resilience.sources_shed", "sources abandoned by the circuit breaker"),
     TelemetryName(_C, "scans", "full AP scans performed (per client)"),
     TelemetryName(_C, "scheduler.hints", "mobility hints applied by the scheduler"),
     TelemetryName(_C, "scheduler.slots", "transmission slots granted (per client)"),
@@ -106,6 +117,7 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_G, "controller.aps_alive", "live APs after the latest controller action"),
     TelemetryName(_G, "controller.churn", "fraction of the fleet handed over this epoch"),
     TelemetryName(_G, "rate.throughput_mbps", "most recent rate-control throughput"),
+    TelemetryName(_G, "resilience.checkpoints_retained", "artifacts on disk after the latest retention prune"),
     TelemetryName(_G, "roaming.handoffs", "final handoff count of a roaming run"),
     TelemetryName(_G, "roaming.mean_goodput_mbps", "mean goodput of a roaming run"),
     TelemetryName(_G, "roaming.scans", "final scan count of a roaming run"),
@@ -128,6 +140,7 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_E, "adaptation", "a session applied a decision (handoff/scan/hint_applied)"),
     TelemetryName(_E, "channel_batch", "one batched MultiLinkChannel.evaluate_many call"),
     TelemetryName(_E, "channel_eval", "one scalar LinkChannel evaluation"),
+    TelemetryName(_E, "checkpoint_rejected", "the recovery scan refused a corrupt checkpoint artifact"),
     TelemetryName(_E, "classifier_verdict", "one classifier decision (mode/heading/similarity)"),
     TelemetryName(_E, "controller_ap_down", "the controller quarantined an AP (ap/reason/evacuees)"),
     TelemetryName(_E, "controller_epoch", "one controller policy epoch (handovers/ping-pongs/suppressed)"),
@@ -138,10 +151,15 @@ REGISTRY: Tuple[TelemetryName, ...] = (
     TelemetryName(_E, "run_end", "engine run completed"),
     TelemetryName(_E, "run_start", "engine run began (step/session counts)"),
     TelemetryName(_E, "sensing_gap", "classifier input degraded (gap / invalid sample)"),
+    TelemetryName(_E, "service_recovered", "a ResilientService resumed from the newest valid artifact"),
+    TelemetryName(_E, "service_rollover", "the service rolled into its next grid segment"),
     TelemetryName(_E, "session_failed", "supervisor observed a session failure"),
     TelemetryName(_E, "session_quarantined", "supervisor quarantined a session"),
     TelemetryName(_E, "session_resumed", "suspended session re-entered the loop"),
     TelemetryName(_E, "session_retry", "supervisor granted a retry suspension"),
+    TelemetryName(_E, "source_down", "a supervised source failed (retry or shed follows)"),
+    TelemetryName(_E, "source_restored", "a retried source resumed delivering past its backoff"),
+    TelemetryName(_E, "source_shed", "the circuit breaker gave up on a source"),
     TelemetryName(_E, "stream_checkpoint", "router state serialized to a checkpoint artifact"),
     TelemetryName(_E, "stream_evict", "idle session state evicted (safe-default hint pushed)"),
     TelemetryName(_E, "stream_resume", "router restored from a checkpoint artifact"),

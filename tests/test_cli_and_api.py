@@ -51,7 +51,7 @@ class TestCli:
         expected = {
             "fig1", "fig2", "fig4", "table1", "fig6", "fig7",
             "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "speed", "thresholds", "controller", "stream",
+            "speed", "thresholds", "controller", "stream", "resilience",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -20,6 +20,7 @@ from repro.sim.supervisor import SupervisorConfig
 from repro.stream import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    CorruptCheckpoint,
     FleetSpec,
     SimulatedSource,
     StreamConfig,
@@ -166,7 +167,11 @@ class TestArtifactGuards:
         with pytest.raises(ValueError, match="labels"):
             other.load_state_dict(state["router"])
 
-    def test_artifact_is_a_plain_versioned_dict(self, tmp_path):
+    def test_artifact_is_a_digested_envelope_over_a_plain_dict(self, tmp_path):
+        """Since v2 the on-disk artifact is a sha256-stamped envelope whose
+        payload bytes unpickle to the plain versioned config/state dict."""
+        import hashlib
+
         router = make_router()
         path = tmp_path / "svc.ckpt"
         save_checkpoint(router, path)
@@ -174,12 +179,17 @@ class TestArtifactGuards:
             raw = pickle.load(handle)
         assert raw["format"] == CHECKPOINT_FORMAT
         assert raw["version"] == CHECKPOINT_VERSION
-        assert isinstance(raw["stream_config"], dict)
-        assert isinstance(raw["classifier_config"], dict)
-        assert isinstance(raw["supervisor_config"], dict)
+        assert isinstance(raw["payload"], bytes)
+        assert raw["sha256"] == hashlib.sha256(raw["payload"]).hexdigest()
+        state = pickle.loads(raw["payload"])
+        assert state["format"] == CHECKPOINT_FORMAT
+        assert state["version"] == CHECKPOINT_VERSION
+        assert isinstance(state["stream_config"], dict)
+        assert isinstance(state["classifier_config"], dict)
+        assert isinstance(state["supervisor_config"], dict)
         from repro import __version__
 
-        assert raw["repro_version"] == __version__
+        assert state["repro_version"] == __version__
 
     def test_restored_config_matches(self, tmp_path):
         router = make_router()
@@ -189,6 +199,111 @@ class TestArtifactGuards:
         assert restored.config == router.config
         assert restored.supervisor_config == router.supervisor_config
         assert restored.classifier.config == router.classifier.config
+
+
+class TestCorruptArtifacts:
+    """Integrity guards: a rotted artifact must be refused loudly, with a
+    message that tells a torn file from a flipped bit from a wrong one."""
+
+    def saved(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        save_checkpoint(make_router(), path)
+        return path
+
+    def test_truncated_artifact_is_refused(self, tmp_path):
+        path = self.saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(CorruptCheckpoint):
+            load_checkpoint(path)
+
+    def test_flipped_byte_fails_the_digest(self, tmp_path):
+        path = self.saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip deep inside the payload so the envelope still unpickles
+        # and the sha256 integrity check is what catches it.
+        data[(len(data) * 2) // 3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptCheckpoint, match="integrity|unpickle|readable"):
+            load_checkpoint(path)
+
+    def test_wrong_format_is_a_distinct_refusal(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        path.write_bytes(
+            pickle.dumps({"format": "not.a.checkpoint", "version": 0, "payload": b""})
+        )
+        with pytest.raises(ValueError, match="not a repro.stream.checkpoint"):
+            load_checkpoint(path)
+
+    def test_future_version_is_a_distinct_refusal(self, tmp_path):
+        path = self.saved(tmp_path)
+        with open(path, "rb") as handle:
+            raw = pickle.load(handle)
+        raw["version"] = CHECKPOINT_VERSION + 1
+        path.write_bytes(pickle.dumps(raw))
+        with pytest.raises(ValueError, match="newer"):
+            load_checkpoint(path)
+
+    def test_non_pickle_bytes_are_refused(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        path.write_bytes(b"this is not a pickle at all")
+        with pytest.raises(CorruptCheckpoint):
+            load_checkpoint(path)
+
+    def test_non_dict_pickle_is_refused(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CorruptCheckpoint, match="artifact dict"):
+            load_checkpoint(path)
+
+    def test_missing_payload_bytes_are_refused(self, tmp_path):
+        path = tmp_path / "svc.ckpt"
+        path.write_bytes(
+            pickle.dumps(
+                {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION,
+                 "sha256": "0" * 64, "payload": "not-bytes"}
+            )
+        )
+        with pytest.raises(CorruptCheckpoint, match="payload bytes"):
+            load_checkpoint(path)
+
+    def test_distinct_messages_per_corruption_mode(self, tmp_path):
+        """Operators must be able to tell failure modes apart."""
+        messages = set()
+        for builder in (
+            lambda p: p.write_bytes(b"\x80"),  # truncated pickle stream
+            lambda p: p.write_bytes(pickle.dumps(7)),  # not a dict
+            lambda p: p.write_bytes(
+                pickle.dumps(
+                    {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION,
+                     "sha256": "0" * 64, "payload": b"rotten"}
+                )
+            ),  # digest mismatch
+        ):
+            path = tmp_path / "svc.ckpt"
+            builder(path)
+            with pytest.raises(CorruptCheckpoint) as excinfo:
+                load_checkpoint(path)
+            messages.add(str(excinfo.value).split("artifact")[-1])
+        assert len(messages) == 3
+
+    def test_v1_flat_artifact_still_loads(self, tmp_path):
+        """Digest-less version-1 artifacts (flat payload dict) remain
+        loadable for one deprecation cycle."""
+        router = make_router()
+        router.advance(5.2)
+        state = checkpoint_state(router)
+        state["version"] = 1
+        path = tmp_path / "v1.ckpt"
+        path.write_bytes(pickle.dumps(state))
+        restored = load_checkpoint(path)
+        assert restored.stepper.next_index == router.stepper.next_index
+        assert restored.clock_s == router.clock_s
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = self.saved(tmp_path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestSupervisedResume:
